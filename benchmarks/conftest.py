@@ -1,0 +1,67 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and writes its rows to ``benchmarks/out/<name>.txt`` (also echoed to
+stdout under ``-s``).  Absolute numbers come from the miniature substrate;
+the *shape* of each result — who wins, what is pruned, where the bugs are
+— is what reproduces the paper.  See EXPERIMENTS.md for the side-by-side.
+
+Scale: campaign-style benchmarks run a scaled-down number of runs by
+default; set ``CRASHTUNER_BENCH_SCALE`` (an integer multiplier) to enlarge
+them toward the paper's 3000-run baselines.
+"""
+
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro import crashtuner, get_system
+from repro.bugs import matcher_for_system
+from repro.core.baselines import find_io_points, profile_io_points
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: the five systems of Table 4, in paper order
+PAPER_SYSTEMS = ["yarn", "hdfs", "hbase", "zookeeper", "cassandra"]
+
+
+def bench_scale() -> int:
+    return max(1, int(os.environ.get("CRASHTUNER_BENCH_SCALE", "1")))
+
+
+_RESULTS: Dict[str, object] = {}
+_IO: Dict[str, object] = {}
+
+
+def full_result(system_name: str):
+    """Cached end-to-end CrashTuner result for one system."""
+    if system_name not in _RESULTS:
+        _RESULTS[system_name] = crashtuner(get_system(system_name))
+    return _RESULTS[system_name]
+
+
+def io_report(system_name: str):
+    if system_name not in _IO:
+        result = full_result(system_name)
+        _IO[system_name] = profile_io_points(
+            get_system(system_name), find_io_points(result.analysis)
+        )
+    return _IO[system_name]
+
+
+@pytest.fixture()
+def table_out(request):
+    """Write a rendered table to benchmarks/out/ and echo it."""
+
+    def write(text: str) -> str:
+        OUT_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("[", "_").replace("]", "")
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return write

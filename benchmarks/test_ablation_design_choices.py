@@ -1,0 +1,75 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* the three static optimizations (off -> how many more points to test),
+* call-string context depth (paper: 5),
+* the random-node fallback at unresolvable values (paper Section 3.2.2:
+  "no impact on our experimental results").
+"""
+
+from benchmarks.conftest import full_result
+from repro.bugs import matcher_for_system
+from repro.core.analysis.static_points import compute_crash_points
+from repro.core.injection import run_campaign
+from repro.core.report import format_table
+from repro.systems import get_system
+
+
+def ablate():
+    result = full_result("yarn")
+    analysis = result.analysis
+
+    # 1. optimizations off: every meta access point would be tested
+    with_opt = len(analysis.crash.crash_points)
+    without_opt = len(analysis.crash.meta_access_points)
+
+    # 2. context depth: how many distinct dynamic points each depth yields
+    depth_counts = {}
+    for depth in (1, 3, 5):
+        seen = set()
+        for dpoint in result.profile.dynamic_points:
+            seen.add((dpoint.point.location, dpoint.point.op, dpoint.stack[:depth]))
+        depth_counts[depth] = len(seen)
+
+    # 3. random fallback: re-run the campaign points whose trigger found no
+    # target, with the fallback enabled
+    unresolved = [o.dpoint for o in result.campaign.outcomes
+                  if o.fired and o.injection is None]
+    fallback = run_campaign(
+        get_system("yarn"), analysis, unresolved,
+        baseline=result.campaign.baseline, matcher=matcher_for_system("yarn"),
+        random_fallback=True, classify_timeouts=False,
+    ) if unresolved else None
+    return with_opt, without_opt, depth_counts, unresolved, fallback, result
+
+
+def test_ablation_design_choices(benchmark, table_out):
+    with_opt, without_opt, depth_counts, unresolved, fallback, result = benchmark(ablate)
+
+    # optimizations shrink the test matrix substantially
+    assert with_opt < without_opt
+    reduction = without_opt / max(1, with_opt)
+
+    # deeper contexts distinguish more dynamic points (promotion etc.)
+    assert depth_counts[1] <= depth_counts[3] <= depth_counts[5]
+
+    # the fallback exposes no bug the targeted campaign missed (the
+    # paper's observation that it "has no impact")
+    baseline_bugs = set(result.detected_bugs())
+    fallback_bugs = set(fallback.detected_bugs()) if fallback else set()
+    new_from_fallback = fallback_bugs - baseline_bugs
+
+    rows = [
+        ["static optimizations", f"on: {with_opt} points",
+         f"off: {without_opt} points ({reduction:.2f}x more to test)"],
+        ["context depth", f"1: {depth_counts[1]} dpoints",
+         f"3: {depth_counts[3]}, 5: {depth_counts[5]} dpoints"],
+        ["random-node fallback", f"{len(unresolved)} unresolved triggers",
+         f"new bugs via fallback: {sorted(new_from_fallback) or 'none'}"],
+    ]
+    assert new_from_fallback == set(), (
+        "the fallback should not beat targeted injection on seeded bugs"
+    )
+    table_out(format_table(
+        ["Design choice", "Default", "Ablated"], rows,
+        title="Ablation: optimizations, context depth, random fallback (YARN)",
+    ))

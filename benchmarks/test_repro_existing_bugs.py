@@ -1,0 +1,46 @@
+"""Section 4.1.1 — reproducing the studied (existing) bugs.
+
+The paper triggers 45 of the 52 timing-sensitive bugs, with 7 named
+non-reproductions.  Five studied bugs are seeded verbatim in the
+miniatures (one per failure family); this benchmark re-triggers each of
+them through CrashTuner and reports the paper-vs-repro accounting.
+"""
+
+from benchmarks.conftest import PAPER_SYSTEMS, full_result
+from repro.bugs import PAPER_NOT_REPRODUCED, STUDIED_BUGS
+from repro.core.report import format_table
+
+
+def reproduce_studied():
+    detected = {}
+    for name in PAPER_SYSTEMS:
+        detected.update(full_result(name).detected_bugs())
+    return detected
+
+
+def test_repro_existing_bugs(benchmark, table_out):
+    detected = benchmark(reproduce_studied)
+    seeded = [b for b in STUDIED_BUGS if b.seeded]
+    rows = []
+    triggered = 0
+    for bug in seeded:
+        if bug.matcher is None:
+            status = "crash point located; symptom handled (as in the paper)"
+        elif bug.id in detected:
+            status = "TRIGGERED"
+            triggered += 1
+        else:
+            status = "missed"
+        rows.append([bug.id, bug.system, bug.meta_info, status])
+    # every seeded studied bug with an observable symptom re-triggers
+    assert triggered == sum(1 for b in seeded if b.matcher is not None)
+    assert len(PAPER_NOT_REPRODUCED) == 7
+    table_out(format_table(
+        ["Bug", "System", "Meta-info", "This repro"], rows,
+        title=(
+            "Section 4.1.1: studied-bug reproduction — paper: 45/52 triggered, "
+            f"7 not; this repro seeds {len(seeded)} representatives "
+            f"(one per failure family) and re-triggers {triggered} "
+            "(ZK-569's symptom is a handled exception, as the paper observed)"
+        ),
+    ) + "\n\nPaper's non-reproductions: " + ", ".join(PAPER_NOT_REPRODUCED))

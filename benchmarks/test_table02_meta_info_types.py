@@ -1,0 +1,30 @@
+"""Table 2 — meta-info types for the YARN example: logged (*) vs derived."""
+
+from benchmarks.conftest import full_result
+from repro.core.report import format_table
+
+
+def build_table2():
+    result = full_result("yarn")
+    meta = result.analysis.meta
+    rows = []
+    for name in sorted(meta.types):
+        origin = "log analysis (*)" if name in meta.logged_types else "static analysis"
+        rows.append([name, origin])
+    return rows, meta
+
+
+def test_table02_meta_info_types(benchmark, table_out):
+    rows, meta = benchmark(build_table2)
+    # The paper's Table 2 split: some types are identified from logs, the
+    # rest are derived by the Definition 2 closure.
+    assert meta.logged_types, "log analysis must seed types"
+    assert meta.types - meta.logged_types, "static analysis must derive more"
+    # the marquee YARN types of Table 2
+    for expected in ("NodeId", "ApplicationAttemptId", "ApplicationId",
+                     "ContainerId", "TaskAttemptId"):
+        assert expected in meta.types
+    table_out(format_table(
+        ["Meta-info type", "Identified by"], rows,
+        title="Table 2: meta-info types for Hadoop2/Yarn (* = from log analysis)",
+    ))

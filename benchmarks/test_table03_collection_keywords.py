@@ -1,0 +1,29 @@
+"""Table 3 — keywords of read and write operations for collection types."""
+
+from repro.core.analysis import READ_KEYWORDS, WRITE_KEYWORDS, collection_op_kind
+from repro.core.report import format_table
+
+
+def classify_all():
+    probes = [
+        "get", "peek", "poll", "values", "contains", "is_empty", "toArray",
+        "put", "add", "remove", "clear", "replace", "push", "pop", "offer",
+        "size", "snapshot", "keys", "iterator",
+    ]
+    return [(p, collection_op_kind(p) or "-") for p in probes]
+
+
+def test_table03_collection_keywords(benchmark, table_out):
+    classified = benchmark(classify_all)
+    kinds = dict(classified)
+    assert kinds["get"] == "read" and kinds["put"] == "write"
+    assert kinds["size"] == "-" and kinds["iterator"] == "-"
+    rows = [
+        ["read", " ".join(READ_KEYWORDS)],
+        ["write", " ".join(WRITE_KEYWORDS)],
+    ]
+    table_out(format_table(
+        ["Kind", "Keywords"], rows,
+        title="Table 3: collection read/write keywords (verbatim from the paper)",
+    ) + "\n\nClassification probe:\n" + format_table(
+        ["method", "kind"], [[m, k] for m, k in classified]))

@@ -1,0 +1,24 @@
+"""Table 4 — the systems under test and their workloads."""
+
+from repro.core.report import format_table
+from repro.systems import all_systems, run_workload
+
+
+def clean_run_all():
+    rows = []
+    for system in all_systems():
+        report = run_workload(system, keep_cluster=False)
+        rows.append([system.name, system.version, system.workload_name,
+                     "OK" if report.succeeded else "FAIL",
+                     f"{report.duration:.2f}s"])
+    return rows
+
+
+def test_table04_systems(benchmark, table_out):
+    rows = benchmark(clean_run_all)
+    assert [r[0] for r in rows] == ["yarn", "hdfs", "hbase", "zookeeper", "cassandra"]
+    assert all(r[3] == "OK" for r in rows)
+    table_out(format_table(
+        ["System", "Version", "Workload", "Clean run", "Sim duration"], rows,
+        title="Table 4: systems under test (paper versions; one clean run each)",
+    ))

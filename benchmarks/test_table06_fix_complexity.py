@@ -1,0 +1,26 @@
+"""Table 6 — complexity of fixing newly detected bugs vs CREB bugs."""
+
+from repro.bugs import TABLE6_CREB, TABLE6_NEW
+from repro.core.report import format_table
+
+
+def build_table6():
+    return [
+        ["CREB bugs", TABLE6_CREB.loc_of_patch, TABLE6_CREB.patches,
+         TABLE6_CREB.days_to_fix, TABLE6_CREB.comments],
+        ["New bugs", TABLE6_NEW.loc_of_patch, TABLE6_NEW.patches,
+         TABLE6_NEW.days_to_fix, TABLE6_NEW.comments],
+    ]
+
+
+def test_table06_fix_complexity(benchmark, table_out):
+    rows = benchmark(build_table6)
+    creb, new = rows
+    # the paper's observation: same patch size, far faster fixes
+    assert abs(creb[1] - new[1]) / creb[1] < 0.05
+    assert new[3] < creb[3] / 4
+    assert new[4] < creb[4] / 2
+    table_out(format_table(
+        ["", "LOC of patch", "# patches", "# days to fix", "# comments"], rows,
+        title="Table 6: fix complexity, CREB-studied vs newly detected (paper's data)",
+    ))

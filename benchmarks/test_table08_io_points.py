@@ -1,0 +1,28 @@
+"""Table 8 — number of IO classes, methods, and static/dynamic IO points."""
+
+from benchmarks.conftest import PAPER_SYSTEMS, io_report
+from repro.core.report import format_table
+
+
+def build_table8():
+    return {name: io_report(name).counts() for name in PAPER_SYSTEMS}
+
+
+def test_table08_io_points(benchmark, table_out):
+    counts = benchmark(build_table8)
+    rows = []
+    totals = [0, 0, 0, 0]
+    for name in PAPER_SYSTEMS:
+        c = counts[name]
+        row = [c["io_classes"], c["io_methods"], c["static_io_points"],
+               c["dynamic_io_points"]]
+        totals = [t + v for t, v in zip(totals, row)]
+        rows.append([name] + row)
+    rows.append(["Total"] + totals)
+    # every system performs IO through Closeable streams
+    assert all(r[3] > 0 for r in rows[:-1])
+    table_out(format_table(
+        ["System", "# IO classes", "# IO methods", "# Static IO points",
+         "# Dynamic IO points"], rows,
+        title="Table 8: IO classes/methods/points per system",
+    ))

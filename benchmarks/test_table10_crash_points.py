@@ -1,0 +1,55 @@
+"""Table 10 — types, fields, access points, and crash points per system.
+
+The paper's shape to reproduce: meta-info is a small fraction of the type
+universe, and the optimizations + profiling funnel hundreds of access
+points down to a small set of dynamic crash points.
+"""
+
+from benchmarks.conftest import PAPER_SYSTEMS, full_result
+from repro.core.report import format_table
+
+
+def build_table10():
+    return {name: full_result(name).table10_row() for name in PAPER_SYSTEMS}
+
+
+def test_table10_crash_points(benchmark, table_out):
+    per_system = benchmark(build_table10)
+    rows = []
+    totals = {}
+    keys = ["types", "fields", "access_points", "meta_types", "meta_fields",
+            "meta_access_points", "static_crash_points", "dynamic_crash_points"]
+    for name in PAPER_SYSTEMS:
+        t = per_system[name]
+        rows.append([name] + [t[k] for k in keys])
+        for k in keys:
+            totals[k] = totals.get(k, 0) + t[k]
+    rows.append(["Total"] + [totals[k] for k in keys])
+
+    # the funnel invariants hold per system
+    for name in PAPER_SYSTEMS:
+        t = per_system[name]
+        assert t["meta_types"] <= t["types"]
+        assert t["meta_access_points"] <= t["access_points"]
+        assert t["dynamic_crash_points"] >= 0
+    # the paper's proportions: crash points are a small slice of all
+    # access points (0.53% static / 0.18% dynamic at Hadoop scale; the
+    # miniatures are denser in meta-info, so the bar here is "well under
+    # half")
+    assert totals["static_crash_points"] < 0.5 * totals["access_points"]
+    assert totals["dynamic_crash_points"] <= totals["static_crash_points"] * 3
+    # ZooKeeper is the degenerate row, as in the paper
+    assert per_system["zookeeper"]["meta_types"] <= 3
+
+    pct = lambda a, b: f"{100.0 * a / b:.2f}%"
+    footer = (
+        f"\nmeta access points: {pct(totals['meta_access_points'], totals['access_points'])} "
+        f"of all access points (paper: 1.97%); "
+        f"static crash points: {pct(totals['static_crash_points'], totals['access_points'])} "
+        f"(paper: 0.53%)"
+    )
+    table_out(format_table(
+        ["System", "Types", "Fields", "Access", "MetaT", "MetaF", "MetaAcc",
+         "Static CP", "Dynamic CP"], rows,
+        title="Table 10: totals vs meta-info vs crash points",
+    ) + footer)

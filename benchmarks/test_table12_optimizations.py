@@ -1,0 +1,35 @@
+"""Table 12 — crash points pruned by each static optimization."""
+
+from benchmarks.conftest import PAPER_SYSTEMS, full_result
+from repro.core.report import format_table
+
+
+def build_table12():
+    return {name: full_result(name).table12_row() for name in PAPER_SYSTEMS}
+
+
+def test_table12_optimizations(benchmark, table_out):
+    data = benchmark(build_table12)
+    rows = []
+    total_pruned = 0
+    total_kept = 0
+    for name in PAPER_SYSTEMS:
+        t = data[name]
+        result = full_result(name)
+        kept = len(result.analysis.crash.crash_points)
+        pruned = t["constructor"] + t["unused"] + t["sanity_check"]
+        total_pruned += pruned
+        total_kept += kept
+        rows.append([name, t["constructor"], t["unused"], t["sanity_check"], kept])
+    # the paper: the three optimizations together reduce crash points 3.76x
+    reduction = (total_pruned + total_kept) / max(1, total_kept)
+    assert reduction > 1.5, f"optimizations barely prune ({reduction:.2f}x)"
+    # every optimization contributes somewhere
+    assert sum(data[n]["constructor"] for n in PAPER_SYSTEMS) > 0
+    assert sum(data[n]["unused"] for n in PAPER_SYSTEMS) > 0
+    assert sum(data[n]["sanity_check"] for n in PAPER_SYSTEMS) > 0
+    table_out(format_table(
+        ["System", "Constructor", "Unused", "Sanity check", "Kept"], rows,
+        title=(f"Table 12: crash points pruned per optimization "
+               f"(overall reduction {reduction:.2f}x; paper: 3.76x)"),
+    ))

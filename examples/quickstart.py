@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run CrashTuner end-to-end on one system.
+
+CrashTuner (SOSP 2019) finds crash-recovery bugs by injecting node crashes
+exactly where the code reads or writes *meta-info* — variables referencing
+high-level system state.  This script runs the whole pipeline on the
+miniature Cassandra (the fastest system) and prints what it found.
+
+    python examples/quickstart.py [system]
+
+where ``system`` is one of: yarn hdfs hbase zookeeper cassandra kube.
+"""
+
+import sys
+
+from repro import crashtuner, get_system
+from repro.bugs import get_bug
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cassandra"
+    system = get_system(name)
+    print(f"=== CrashTuner on {system.name} {system.version} "
+          f"(workload: {system.workload_name}) ===\n")
+
+    result = crashtuner(system)
+
+    totals = result.table10_row()
+    print("Phase 1 — analysis:")
+    print(f"  logging statements : {len(result.analysis.statements)}")
+    print(f"  log instances      : {result.analysis.log_result.matched} matched")
+    print(f"  meta-info types    : {totals['meta_types']} of {totals['types']} classes")
+    print(f"  static crash points: {totals['static_crash_points']} "
+          f"(from {totals['access_points']} access points)")
+    print(f"  dynamic crash pts  : {totals['dynamic_crash_points']} "
+          f"(profiled in {result.profile.iterations} iterations)\n")
+
+    print("Phase 2 — fault-injection testing:")
+    flagged = result.campaign.flagged()
+    print(f"  test runs          : {len(result.campaign.outcomes)} "
+          f"(one per dynamic crash point)")
+    print(f"  flagged runs       : {len(flagged)}\n")
+
+    detected = result.detected_bugs()
+    if not detected:
+        print("No bugs detected (expected for zookeeper — see Section 3.4).")
+        return
+    print(f"Bugs detected ({len(detected)}):")
+    for bug_id, hits in sorted(detected.items()):
+        bug = get_bug(bug_id)
+        print(f"  {bug_id:14s} [{bug.scenario:10s}] {bug.symptom}")
+        print(f"  {'':14s} exposed by {hits} crash point(s); meta-info: {bug.meta_info}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` cannot build a PEP 660 editable wheel.  This shim lets
+pip fall back to ``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""CrashTuner (SOSP 2019) reproduction.
+
+Detecting crash-recovery bugs in cloud systems via meta-info analysis, on
+a fully simulated cloud-system substrate.  The public API:
+
+* :func:`repro.crashtuner` — run the tool end-to-end over a system,
+* :func:`repro.get_system` / :func:`repro.all_systems` — the systems under
+  test (Table 4),
+* :func:`repro.run_workload` — drive one clean or fault-injected run,
+* :mod:`repro.bugs` — the bug catalog (Tables 1, 5, 6, 13).
+
+>>> from repro import crashtuner, get_system
+>>> result = crashtuner(get_system("yarn"))
+>>> sorted(result.detected_bugs())  # doctest: +SKIP
+['MR-3858', 'MR-7178', ...]
+"""
+
+from repro.core.pipeline import CrashTunerResult, crashtuner
+from repro.systems import all_systems, get_system, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrashTunerResult",
+    "all_systems",
+    "crashtuner",
+    "get_system",
+    "run_workload",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""The crash-recovery bug catalog (Tables 1, 5, 6, 13)."""
+
+from repro.bugs.catalog import (
+    ALL_BUGS,
+    PAPER_NOT_REPRODUCED,
+    all_patched_config,
+    bugs_for_system,
+    get_bug,
+    match_bugs,
+    matcher_for_system,
+    seeded_bugs,
+)
+from repro.bugs.kubernetes import KUBERNETES_BUGS
+from repro.bugs.new_bugs import NEW_BUGS, TABLE6_CREB, TABLE6_NEW, TIMEOUT_ISSUES
+from repro.bugs.records import BugRecord, FixStats, Matcher
+from repro.bugs.studied import (
+    NON_TIMING_EXAMPLES,
+    NON_TIMING_SENSITIVE,
+    STUDIED_BUGS,
+)
+
+__all__ = [
+    "ALL_BUGS",
+    "BugRecord",
+    "FixStats",
+    "KUBERNETES_BUGS",
+    "Matcher",
+    "NEW_BUGS",
+    "NON_TIMING_EXAMPLES",
+    "NON_TIMING_SENSITIVE",
+    "PAPER_NOT_REPRODUCED",
+    "STUDIED_BUGS",
+    "TABLE6_CREB",
+    "TABLE6_NEW",
+    "TIMEOUT_ISSUES",
+    "all_patched_config",
+    "bugs_for_system",
+    "get_bug",
+    "match_bugs",
+    "matcher_for_system",
+    "seeded_bugs",
+]

@@ -1,0 +1,78 @@
+"""The bug catalog: one registry over every bug record, plus matching.
+
+``match_bugs`` is the attribution function the injection campaign plugs in
+(:data:`repro.core.injection.campaign.BugMatcherFn`): given a flagged run,
+it returns the ids of the catalogued bugs whose signatures appear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bugs.kubernetes import KUBERNETES_BUGS
+from repro.bugs.new_bugs import NEW_BUGS, TIMEOUT_ISSUES
+from repro.bugs.records import BugRecord
+from repro.bugs.studied import PAPER_NOT_REPRODUCED, STUDIED_BUGS
+from repro.core.injection.oracles import OracleVerdict
+from repro.systems.base import RunReport
+
+ALL_BUGS: List[BugRecord] = STUDIED_BUGS + NEW_BUGS + TIMEOUT_ISSUES + KUBERNETES_BUGS
+
+_BY_ID: Dict[str, BugRecord] = {b.id: b for b in ALL_BUGS}
+
+
+def get_bug(bug_id: str) -> BugRecord:
+    return _BY_ID[bug_id]
+
+
+def bugs_for_system(system: str, source: Optional[str] = None) -> List[BugRecord]:
+    return [
+        b for b in ALL_BUGS
+        if b.system == system and (source is None or b.source == source)
+    ]
+
+
+def seeded_bugs(system: Optional[str] = None) -> List[BugRecord]:
+    return [
+        b for b in ALL_BUGS
+        if b.seeded and (system is None or b.system == system)
+    ]
+
+
+def all_patched_config() -> Dict[str, object]:
+    """A cluster config with every seeded bug patched."""
+    return {"patched_bugs": frozenset(b.flag for b in ALL_BUGS if b.seeded)}
+
+
+def match_bugs(report: RunReport, verdict: OracleVerdict) -> List[str]:
+    """Attribute a flagged run to catalogued bugs (most-specific wins:
+    every matching signature is reported; the campaign dedupes by id)."""
+    hits: List[str] = []
+    for bug in ALL_BUGS:
+        if bug.matcher is None or bug.system != report.system:
+            continue
+        if bug.matcher.matches(report, verdict):
+            hits.append(bug.id)
+    return hits
+
+
+def matcher_for_system(system: str):
+    """A campaign-pluggable matcher closed over one system's bugs."""
+    bugs = [b for b in ALL_BUGS if b.system == system and b.matcher is not None]
+
+    def _match(report: RunReport, verdict: OracleVerdict) -> List[str]:
+        return [b.id for b in bugs if b.matcher.matches(report, verdict)]
+
+    return _match
+
+
+__all__ = [
+    "ALL_BUGS",
+    "PAPER_NOT_REPRODUCED",
+    "all_patched_config",
+    "bugs_for_system",
+    "get_bug",
+    "match_bugs",
+    "matcher_for_system",
+    "seeded_bugs",
+]

@@ -1,0 +1,49 @@
+"""The Kubernetes study (paper Table 13, Section 4.4).
+
+The 14 scheduling-related critical crash-recovery bugs the paper studied
+in Kubernetes, classified by the meta-info their crash points access, plus
+the two representative bugs seeded in the mini-Kubernetes substrate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bugs.records import BugRecord, Matcher
+
+
+def _kube(pr: str, meta: str, **kw) -> BugRecord:
+    return BugRecord(
+        id=f"kube-{pr}", system="kube", scenario="pre-read", meta_info=meta,
+        source="kubernetes", **kw,
+    )
+
+
+KUBERNETES_BUGS: List[BugRecord] = [
+    _kube(
+        "53647", "Node",
+        seeded=True,
+        symptom="Scheduler binds a pod to a node removed between filter and bind",
+        patched_flag="KUBE-53647",
+        matcher=Matcher(log_contains=("Scheduler failed binding pod",)),
+    ),
+    _kube("68984", "Node"),
+    _kube("55262", "Node"),
+    _kube("56622", "Node"),
+    _kube("69758", "Node"),
+    _kube("71063", "Node"),
+    _kube("73097", "Node"),
+    _kube("78782", "Node"),
+    _kube("72895", "Pod"),
+    _kube(
+        "68173", "Pod",
+        seeded=True,
+        symptom="Eviction dereferences a pod deleted concurrently",
+        patched_flag="KUBE-68173",
+        matcher=Matcher(log_contains=("aborting process cp", "no attribute 'phase'")),
+    ),
+    _kube("68892", "Pod"),
+    _kube("70898", "Pod"),
+    _kube("71488", "Pod"),
+    _kube("72259", "Pod"),
+]

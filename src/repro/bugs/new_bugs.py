@@ -1,0 +1,195 @@
+"""The new bugs CrashTuner detected (paper Table 5), plus the timeout
+issues of Section 4.1.3 and the fix-complexity data of Table 6.
+
+Every Table 5 row is seeded in the corresponding miniature system; the
+matchers below automate the "read the flagged run's logs, file the JIRA"
+attribution step.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bugs.records import BugRecord, FixStats, Matcher
+
+#: Table 6: average fix complexity, CREB-studied bugs vs the new bugs
+TABLE6_CREB = FixStats(loc_of_patch=117.0, patches=4.0, days_to_fix=92.0, comments=26.0)
+TABLE6_NEW = FixStats(loc_of_patch=114.8, patches=3.8, days_to_fix=16.8, comments=8.6)
+
+
+def _new(id: str, system: str, priority: str, scenario: str, status: str,
+         symptom: str, meta: str, **kw) -> BugRecord:
+    return BugRecord(
+        id=id, system=system, scenario=scenario, meta_info=meta,
+        source="new", priority=priority, status=status, symptom=symptom,
+        seeded=True, fix=TABLE6_NEW, **kw,
+    )
+
+
+NEW_BUGS: List[BugRecord] = [
+    _new(
+        "YARN-9238", "yarn", "Critical", "pre-read", "Fixed",
+        "Allocating containers to removed ApplicationAttempt", "ApplicationAttemptId",
+        matcher=Matcher(
+            log_contains=("Invalid event: allocate at ALLOCATED",),
+            kind="cluster-down",
+        ),
+    ),
+    _new(
+        "YARN-9165", "yarn", "Critical", "pre-read", "Fixed",
+        "Scheduling the removed container", "ContainerId",
+        matcher=Matcher(
+            log_contains=("aborting process rm", "no attribute 'sm'"),
+        ),
+    ),
+    _new(
+        "YARN-9193", "yarn", "Critical", "pre-read", "Fixed",
+        "Allocating container to removed node", "NodeId",
+        matcher=Matcher(
+            log_contains=("Error allocating for", "no attribute 'node_id'"),
+            node_prefix="rm",
+        ),
+    ),
+    _new(
+        "YARN-9164", "yarn", "Critical", "pre-read", "Fixed",
+        "Cluster down due to using the removed node", "NodeId",
+        bug_count=2,  # the paper groups two bugs under this issue
+        matcher=Matcher(
+            log_contains=("aborting process rm", "no attribute 'release_container'"),
+        ),
+    ),
+    _new(
+        "YARN-9201", "yarn", "Major", "pre-read", "Fixed",
+        "Invalid event for current state of ApplicationAttempt", "ContainerId",
+        matcher=Matcher(
+            log_contains=("Error in handling event type master_container_finished",),
+        ),
+    ),
+    _new(
+        "HDFS-14216", "hdfs", "Major", "pre-read", "Fixed",
+        "Request fails due to removed node", "DataNodeInfo",
+        bug_count=2,
+        matcher=Matcher(
+            log_contains=("IPC handler caught exception",),
+            node_prefix="nn",
+        ),
+    ),
+    _new(
+        "YARN-9194", "yarn", "Critical", "pre-read", "Fixed",
+        "Invalid event for current state of ApplicationAttempt", "ApplicationId",
+        matcher=Matcher(
+            log_contains=("Error in handling event type history_flush",),
+        ),
+    ),
+    _new(
+        "HBASE-22041", "hbase", "Critical", "post-write", "Unresolved",
+        "Master startup node hang", "ServerName",
+        matcher=Matcher(
+            log_contains=("Waiting on meta assignment",),
+            kind="hang",
+        ),
+    ),
+    _new(
+        "HBASE-22017", "hbase", "Critical", "pre-read", "Fixed",
+        "Master fails to become active due to removed node", "ServerName",
+        matcher=Matcher(
+            log_contains=("aborting process hmaster", "no attribute 'load'"),
+        ),
+    ),
+    _new(
+        "YARN-8650", "yarn", "Major", "pre-read", "Fixed",
+        "Invalid event for current state of Container", "ContainerId",
+        bug_count=2,
+        matcher=Matcher(
+            log_contains=("Error in handling event type launched",),
+        ),
+    ),
+    _new(
+        "YARN-9248", "yarn", "Major", "pre-read", "Fixed",
+        "Invalid event for current state of Container", "ApplicationAttemptId",
+        matcher=Matcher(
+            log_contains=("Error in handling event type kill for container",),
+        ),
+    ),
+    _new(
+        "YARN-8649", "yarn", "Major", "pre-read", "Fixed",
+        "Resource Leak due to removed container", "ApplicationId",
+        matcher=Matcher(
+            log_contains=("Potential resource leak",),
+        ),
+    ),
+    _new(
+        "HBASE-21740", "hbase", "Major", "post-write", "Fixed",
+        "Shutdown during initialization causing abort", "MetricsRegionServer",
+        matcher=Matcher(
+            log_contains=("aborting process", "no attribute 'close'"),
+        ),
+    ),
+    _new(
+        "HBASE-22050", "hbase", "Major", "pre-read", "Unresolved",
+        "Atomic violation causing shutdown aborts", "RegionInfo",
+        matcher=Matcher(
+            log_contains=("Procedure executor caught exception",),
+        ),
+    ),
+    _new(
+        "HDFS-14372", "hdfs", "Major", "pre-read", "Fixed",
+        "Shutdown before register causing abort", "BPOfferService",
+        matcher=Matcher(
+            log_contains=("aborting process", "no attribute 'upper'"),
+        ),
+    ),
+    _new(
+        "MR-7178", "yarn", "Major", "post-write", "Unresolved",
+        "Shutdown during initialization causing abort", "TaskAttemptId",
+        matcher=Matcher(
+            log_contains=("aborting process", "KeyError: None"),
+        ),
+    ),
+    _new(
+        "HBASE-22023", "hbase", "Trivial", "post-write", "Unresolved",
+        "Shutdown during initialization causing abort", "MetricsRegionServer",
+        matcher=Matcher(
+            log_contains=("aborting process", "no attribute 'stop'"),
+        ),
+    ),
+    _new(
+        "CA-15131", "cassandra", "Normal", "pre-read", "Unresolved",
+        "Request fails due to using removed node", "InetAddressAndPort",
+        matcher=Matcher(
+            log_contains=("Unexpected exception during write", "no attribute 'startswith'"),
+        ),
+    ),
+]
+
+
+def _timeout(id: str, system: str, symptom: str, meta: str, **kw) -> BugRecord:
+    return BugRecord(
+        id=id, system=system, scenario="post-write", meta_info=meta,
+        source="timeout-issue", symptom=symptom, seeded=True, **kw,
+    )
+
+
+#: Section 4.1.3: timeout issues (debatable bugs; tasks finish after ~10min)
+TIMEOUT_ISSUES: List[BugRecord] = [
+    _timeout(
+        "TO-YARN-1", "yarn",
+        "Reduce retries fetching a crashed map node's output for ~10 minutes",
+        "TaskAttemptId",
+        matcher=Matcher(log_contains=("giving up fetching",), kind="timeout"),
+    ),
+    _timeout(
+        "TO-YARN-2", "yarn",
+        "Attempt stuck after master container node crash until the launch monitor expires it",
+        "ContainerId",
+        matcher=Matcher(log_contains=("never registered; expiring via launch monitor",),
+                        kind="timeout"),
+    ),
+    _timeout(
+        "TO-HBASE-1", "hbase",
+        "Region stuck in OPENING until the assignment chore reaps it",
+        "RegionInfo",
+        matcher=Matcher(log_contains=("stuck in transition", "force reassigning"),
+                        kind="timeout"),
+    ),
+]

@@ -1,0 +1,91 @@
+"""Bug records and symptom matchers.
+
+A :class:`BugRecord` is one row of the paper's bug universe: the 66
+studied crash-recovery bugs of Table 1, the 21 new bugs of Table 5, the
+timeout issues of Section 4.1.3, and the 14 Kubernetes bugs of Table 13.
+
+Records for bugs *seeded in the miniature systems* carry a
+:class:`Matcher` — how a flagged test run is attributed to the bug (the
+manual "inspect the logs and file a JIRA" step of the original work,
+automated so campaigns can be scored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.injection.oracles import OracleVerdict
+from repro.mtlog.records import level_rank
+from repro.systems.base import RunReport
+
+
+@dataclass(frozen=True)
+class Matcher:
+    """Attributes a flagged run to a bug.
+
+    Attributes:
+        log_contains: substrings that must all appear in one error/fatal
+            log record (or abort entry) of the run.
+        node_prefix: restrict matching records to nodes whose name starts
+            with this prefix (e.g. "rm", "am", "nn").
+        kind: additionally require this oracle kind
+            ("hang" / "timeout" / "job-failure" / "cluster-down").
+    """
+
+    log_contains: Tuple[str, ...] = ()
+    node_prefix: Optional[str] = None
+    kind: Optional[str] = None
+
+    def matches(self, report: RunReport, verdict: OracleVerdict) -> bool:
+        if self.kind is not None and self.kind not in verdict.kinds():
+            return False
+        if not self.log_contains:
+            return True
+        haystacks: List[str] = []
+        if report.log is not None:
+            for record in report.log.records:
+                if level_rank(record.level) < level_rank("warn"):
+                    continue
+                if self.node_prefix and not record.node.startswith(self.node_prefix):
+                    continue
+                haystacks.append(str(record))
+        haystacks.extend(report.aborts)
+        return any(all(sub in h for sub in self.log_contains) for h in haystacks)
+
+
+@dataclass(frozen=True)
+class FixStats:
+    """Fix-complexity data (Table 6 columns)."""
+
+    loc_of_patch: float
+    patches: float
+    days_to_fix: float
+    comments: float
+
+
+@dataclass(frozen=True)
+class BugRecord:
+    """One crash-recovery bug."""
+
+    id: str
+    system: str  # "yarn" | "hdfs" | "hbase" | "zookeeper" | "cassandra" | "kube"
+    scenario: str  # "pre-read" | "post-write" | "not-timing-sensitive"
+    meta_info: str  # the Table 1 / Table 5 meta-info label
+    source: str  # "studied" | "new" | "timeout-issue" | "kubernetes"
+    symptom: str = ""
+    priority: str = ""  # Table 5's Priority column
+    status: str = ""  # Table 5's Status column
+    #: does the miniature system contain this bug's code path?
+    seeded: bool = False
+    #: id accepted by cluster.is_patched() (defaults to the bug id)
+    patched_flag: Optional[str] = None
+    matcher: Optional[Matcher] = None
+    fix: Optional[FixStats] = None
+    #: Table 5 groups some issues as two bugs ("(2)" rows)
+    bug_count: int = 1
+    notes: str = ""
+
+    @property
+    def flag(self) -> str:
+        return self.patched_flag or self.id

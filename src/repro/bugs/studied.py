@@ -1,0 +1,150 @@
+"""The studied crash-recovery bugs (paper Table 1, Section 2).
+
+All 52 timing-sensitive bugs from the two bug-study databases, organized
+by the meta-info their crash point accesses.  Five of them are seeded in
+the miniature systems (their exact scenario is reconstructible at
+miniature scale); the rest are catalogued for the Table 1 reproduction and
+the Section 4.1.1 accounting.
+
+The study also covered 14 bugs that are *not* timing-sensitive (triggered
+by any crash); the paper names MR-3463 and ZK-131 as examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bugs.records import BugRecord, Matcher
+
+#: Section 2: bugs omitted from / added to the 116-bug universe
+TOTAL_DATABASE_BUGS = 116
+OMITTED_MULTI_CRASH = 34
+OMITTED_IO = 16
+NON_TIMING_SENSITIVE = 14
+NON_TIMING_EXAMPLES = ("MR-3463", "ZK-131")
+
+
+def _bug(id: str, system: str, meta: str, scenario: str = "pre-read", **kw) -> BugRecord:
+    return BugRecord(id=id, system=system, scenario=scenario, meta_info=meta,
+                     source="studied", **kw)
+
+
+STUDIED_BUGS: List[BugRecord] = [
+    # ------------------------------------------------------------- Hadoop2
+    _bug("YARN-8664", "yarn", "AppAttemptId"),
+    _bug("YARN-2273", "yarn", "NodeId"),
+    _bug("YARN-4227", "yarn", "NodeId"),
+    _bug("YARN-5195", "yarn", "NodeId"),
+    _bug("YARN-8233", "yarn", "NodeId"),
+    _bug(
+        "YARN-5918", "yarn", "NodeId",
+        seeded=True,
+        symptom="Job thread reads resources of a LOST node (Figure 2)",
+        matcher=Matcher(
+            log_contains=("Error allocating for", "no attribute 'available_slots'"),
+            node_prefix="rm",
+        ),
+    ),
+    _bug("YARN-7007", "yarn", "ApplicationId"),
+    _bug("YARN-7591", "yarn", "ApplicationId"),
+    _bug("YARN-8222", "yarn", "ApplicationId"),
+    _bug("YARN-4355", "yarn", "ApplicationId"),
+    _bug(
+        "YARN-4502", "yarn", "AppState",
+        notes="not reproduced by the paper: accessed variables never logged",
+    ),
+    _bug("MR-3596", "yarn", "ContainerId"),
+    _bug("YARN-4152", "yarn", "ContainerId"),
+    _bug("MR-4833", "yarn", "ContainerId"),
+    _bug("MR-3031", "yarn", "ContainerId"),
+    _bug("MR-4099", "yarn", "File"),
+    _bug(
+        "MR-3858", "yarn", "TaskAttemptId",
+        scenario="post-write",
+        seeded=True,
+        symptom="Commit record survives the node crash; re-run attempt killed forever (Figure 3)",
+        matcher=Matcher(log_contains=("Commit check failed",), kind="hang"),
+    ),
+    # ---------------------------------------------------------------- HDFS
+    _bug(
+        "HDFS-6231", "hdfs", "DatanodeInfo",
+        seeded=True,
+        symptom="Replication monitor dereferences a removed datanode; NameNode aborts",
+        matcher=Matcher(
+            log_contains=("aborting process nn", "no attribute 'node_id'"),
+        ),
+    ),
+    _bug("HDFS-3701", "hdfs", "DatanodeInfo"),
+    _bug(
+        "HDFS-4596", "hdfs", "File",
+        notes="not reproduced by the paper: MD5 file name maps to no node",
+    ),
+    _bug("HDFS-8240", "hdfs", "BPOfferService"),
+    _bug("HDFS-5014", "hdfs", "BPOfferService"),
+    _bug("HDFS-4404", "hdfs", "NameNode"),
+    _bug("HDFS-3031", "hdfs", "NameNode"),
+    # --------------------------------------------------------------- HBase
+    _bug("HBASE-4539", "hbase", "RegionTransition"),
+    _bug("HBASE-6070", "hbase", "RegionTransition"),
+    _bug("HBASE-10090", "hbase", "RegionTransition"),
+    _bug("HBASE-19335", "hbase", "RegionTransition"),
+    _bug("HBASE-4540", "hbase", "HRegion"),
+    _bug("HBASE-3365", "hbase", "HRegion"),
+    _bug("HBASE-5927", "hbase", "HRegion"),
+    _bug("HBASE-5155", "hbase", "HRegion"),
+    _bug(
+        "HBASE-3617", "hbase", "HRegionServer",
+        seeded=True,
+        symptom="ServerCrashProcedure dereferences a reassignment target that vanished",
+        matcher=Matcher(
+            log_contains=("aborting process hmaster", "no attribute 'server_name'"),
+        ),
+        notes="representative of the 15-bug HRegionServer cluster in Table 1",
+    ),
+    _bug("HBASE-3874", "hbase", "HRegionServer"),
+    _bug("HBASE-3023", "hbase", "HRegionServer"),
+    _bug("HBASE-3283", "hbase", "HRegionServer"),
+    _bug("HBASE-3362", "hbase", "HRegionServer"),
+    _bug("HBASE-3024", "hbase", "HRegionServer"),
+    _bug("HBASE-18014", "hbase", "HRegionServer"),
+    _bug("HBASE-14536", "hbase", "HRegionServer"),
+    _bug(
+        "HBASE-14621", "hbase", "HRegionServer",
+        notes="not reproduced by the paper: accessed variables never logged",
+    ),
+    _bug(
+        "HBASE-13546", "hbase", "HRegionServer",
+        notes="not reproduced by the paper: accessed variables never logged",
+    ),
+    _bug("HBASE-10272", "hbase", "HRegionServer"),
+    _bug("HBASE-2525", "hbase", "HRegionServer"),
+    _bug("HBASE-5063", "hbase", "HRegionServer"),
+    _bug("HBASE-8519", "hbase", "HRegionServer"),
+    _bug("HBASE-2797", "hbase", "HRegionServer"),
+    _bug(
+        "HBASE-7111", "hbase", "ZNode",
+        notes="not reproduced by the paper: meta-info lives in the ZooKeeper layer",
+    ),
+    _bug(
+        "HBASE-5722", "hbase", "ZNode",
+        notes="not reproduced by the paper: meta-info lives in the ZooKeeper layer",
+    ),
+    _bug(
+        "HBASE-5635", "hbase", "ZNode",
+        notes="not reproduced by the paper: meta-info lives in the ZooKeeper layer",
+    ),
+    _bug("HBASE-3722", "hbase", "File"),
+    # ----------------------------------------------------------- ZooKeeper
+    _bug(
+        "ZK-569", "zookeeper", "ZNode",
+        seeded=True,
+        symptom="Session expiry applied against an already-deleted znode (handled)",
+        notes="the handled-exception case: injection lands in recovery code that tolerates it",
+    ),
+]
+
+#: ids the paper could not reproduce (Section 4.1.1): 45 of 52 triggered
+PAPER_NOT_REPRODUCED = (
+    "HBASE-13546", "HBASE-14621", "YARN-4502",
+    "HBASE-7111", "HBASE-5722", "HBASE-5635", "HDFS-4596",
+)

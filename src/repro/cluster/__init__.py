@@ -1,0 +1,42 @@
+"""Cluster substrate: nodes, lifecycle, heartbeats, tracked heap state.
+
+This is the deployment layer the five systems under test are written
+against, and the layer whose tracked containers provide the dynamic
+instrumentation channel CrashTuner hooks into.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.heartbeat import HeartbeatSender, LivenessMonitor
+from repro.cluster.node import Node, NodeState
+from repro.cluster.state import (
+    BUS,
+    AccessBus,
+    AccessEvent,
+    FieldKey,
+    TrackedDict,
+    TrackedList,
+    TrackedSet,
+    tracked_dict,
+    tracked_list,
+    tracked_ref,
+    tracked_set,
+)
+
+__all__ = [
+    "BUS",
+    "AccessBus",
+    "AccessEvent",
+    "Cluster",
+    "FieldKey",
+    "HeartbeatSender",
+    "LivenessMonitor",
+    "Node",
+    "NodeState",
+    "TrackedDict",
+    "TrackedList",
+    "TrackedSet",
+    "tracked_dict",
+    "tracked_list",
+    "tracked_ref",
+    "tracked_set",
+]

@@ -1,0 +1,249 @@
+"""Typed identifiers for high-level system state ("meta-info" values).
+
+These classes play the role of the Java id records in Table 2 of the paper
+(``NodeId``, ``ApplicationAttemptId``, ``ContainerId``, ...).  Each renders
+to the same wire format the real systems log, because CrashTuner's log
+analysis works purely on those rendered strings:
+
+* node references render as ``host:port`` so the online analysis can match
+  them against cluster host names (Section 3.1.1);
+* derived ids (containers, attempts) embed their parent ids, as in
+  ``container_1559000000_0001_01_000003``.
+
+Note for reviewers of the analysis code: the static analysis does **not**
+special-case these classes or their shared base class.  Meta-info types are
+*inferred* from logs plus the Definition-2 closure; this module is plain
+data modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fixed "cluster timestamp" used in rendered ids.  The real systems embed
+#: the RM/NN start wall-clock here; the simulation uses a constant so runs
+#: are reproducible and ids are comparable across runs.
+CLUSTER_TIMESTAMP = 1559000000
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """A node reference: ``host:port``."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class ApplicationId:
+    """``application_<clusterTs>_<seq>``."""
+
+    cluster_ts: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"application_{self.cluster_ts}_{self.seq:04d}"
+
+
+@dataclass(frozen=True)
+class JobId:
+    """``job_<clusterTs>_<seq>`` — the MapReduce view of an application."""
+
+    app: ApplicationId
+
+    def __str__(self) -> str:
+        return f"job_{self.app.cluster_ts}_{self.app.seq:04d}"
+
+
+@dataclass(frozen=True)
+class ApplicationAttemptId:
+    """``appattempt_<clusterTs>_<appSeq>_<attempt>``."""
+
+    app: ApplicationId
+    attempt: int
+
+    def __str__(self) -> str:
+        return f"appattempt_{self.app.cluster_ts}_{self.app.seq:04d}_{self.attempt:06d}"
+
+
+@dataclass(frozen=True)
+class ContainerId:
+    """``container_<clusterTs>_<appSeq>_<attempt>_<seq>``."""
+
+    app_attempt: ApplicationAttemptId
+    seq: int
+
+    def __str__(self) -> str:
+        a = self.app_attempt
+        return f"container_{a.app.cluster_ts}_{a.app.seq:04d}_{a.attempt:02d}_{self.seq:06d}"
+
+
+@dataclass(frozen=True)
+class TaskId:
+    """``task_<clusterTs>_<jobSeq>_<m|r>_<seq>``."""
+
+    job: JobId
+    task_type: str  # "m" (map) or "r" (reduce)
+    seq: int
+
+    def __str__(self) -> str:
+        return f"task_{self.job.app.cluster_ts}_{self.job.app.seq:04d}_{self.task_type}_{self.seq:06d}"
+
+
+@dataclass(frozen=True)
+class TaskAttemptId:
+    """``attempt_<clusterTs>_<jobSeq>_<m|r>_<taskSeq>_<attempt>``."""
+
+    task: TaskId
+    attempt: int
+
+    def __str__(self) -> str:
+        t = self.task
+        return (
+            f"attempt_{t.job.app.cluster_ts}_{t.job.app.seq:04d}"
+            f"_{t.task_type}_{t.seq:06d}_{self.attempt}"
+        )
+
+
+@dataclass(frozen=True)
+class JvmId:
+    """``jvm_<clusterTs>_<jobSeq>_<m|r>_<seq>`` — the JVM spawned per container."""
+
+    job: JobId
+    task_type: str
+    seq: int
+
+    def __str__(self) -> str:
+        return f"jvm_{self.job.app.cluster_ts}_{self.job.app.seq:04d}_{self.task_type}_{self.seq:06d}"
+
+
+# ---------------------------------------------------------------------------
+# HDFS
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlockId:
+    """``blk_<id>``."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return f"blk_{self.id}"
+
+
+@dataclass(frozen=True)
+class DatanodeInfo:
+    """A datanode descriptor; renders with its address so logs tie it to a node."""
+
+    node: NodeId
+    storage_id: str
+
+    def __str__(self) -> str:
+        return f"DatanodeInfoWithStorage[{self.node},{self.storage_id}]"
+
+
+@dataclass(frozen=True)
+class BlockPoolId:
+    """``BP-<seq>-<nn-host>-<ts>`` — identifies an HDFS block pool."""
+
+    seq: int
+    nn_host: str
+
+    def __str__(self) -> str:
+        return f"BP-{self.seq}-{self.nn_host}-{CLUSTER_TIMESTAMP}"
+
+
+# ---------------------------------------------------------------------------
+# HBase
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServerName:
+    """``host,port,startcode`` — HBase's region-server identity."""
+
+    host: str
+    port: int
+    start_code: int
+
+    def __str__(self) -> str:
+        return f"{self.host},{self.port},{self.start_code}"
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """``<table>,<startKey>,<regionId>`` — an HBase region descriptor."""
+
+    table: str
+    start_key: str
+    region_id: int
+
+    def __str__(self) -> str:
+        return f"{self.table},{self.start_key},{self.region_id}"
+
+
+@dataclass(frozen=True)
+class ZNodePath:
+    """A ZooKeeper znode path, e.g. ``/hbase/rs/node2,16020,1559000000``."""
+
+    path: str
+
+    def __str__(self) -> str:
+        return self.path
+
+    def child(self, name: str) -> "ZNodePath":
+        base = self.path.rstrip("/")
+        return ZNodePath(f"{base}/{name}")
+
+
+# ---------------------------------------------------------------------------
+# Cassandra
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class InetAddressAndPort:
+    """``host:port`` — Cassandra's endpoint identity."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class TokenRange:
+    """A slice of the Cassandra ring: ``(start, end]``."""
+
+    start: int
+    end: int
+
+    def __str__(self) -> str:
+        return f"({self.start},{self.end}]"
+
+
+# ---------------------------------------------------------------------------
+# Kubernetes (Section 4.4 study)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class KubeNodeName:
+    """A Kubernetes node name (also a host name in our simulation)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PodId:
+    """``<namespace>/<name>``."""
+
+    namespace: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.namespace}/{self.name}"

@@ -1,0 +1,14 @@
+"""CrashTuner itself: the paper's primary contribution.
+
+Subpackages follow Figure 4:
+
+* :mod:`repro.core.analysis` — log analysis + static crash point analysis,
+* :mod:`repro.core.profiler` — dynamic crash points,
+* :mod:`repro.core.injection` — the fault-injection testing phase,
+* :mod:`repro.core.baselines` — random and IO fault injection (Section 4.2),
+* :mod:`repro.core.pipeline` — the end-to-end runner.
+"""
+
+from repro.core.pipeline import CrashTunerResult, crashtuner
+
+__all__ = ["CrashTunerResult", "crashtuner"]

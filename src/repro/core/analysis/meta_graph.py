@@ -1,0 +1,109 @@
+"""The runtime meta-info graph (paper Figures 1 and 5(d)).
+
+Vertices are runtime values extracted from matched log instances.  Values
+whose text contains a configured host name are *node-referencing*; values
+co-occurring in one log instance are related; every value transitively
+related to a node-referencing value is meta-info and maps to that node.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+def host_in_value(value: str, hosts: Sequence[str]) -> Optional[str]:
+    """The configured host whose name occurs in ``value``.
+
+    Matches use word boundaries (``node1`` does not match inside
+    ``node10``).  A ``host:port`` occurrence — the form node addresses
+    take in the systems' configuration files — wins over a bare host-name
+    occurrence: an HDFS ``BPOfferService`` renders both the block pool id
+    (which embeds the NameNode host) and the datanode address, and the
+    address is the node the value belongs to.
+    """
+    bare_match: Optional[str] = None
+    for host in hosts:
+        escaped = re.escape(host)
+        if re.search(rf"(?<![A-Za-z0-9]){escaped}:\d+", value):
+            return host
+        if bare_match is None and re.search(
+            rf"(?<![A-Za-z0-9]){escaped}(?![A-Za-z0-9])", value
+        ):
+            bare_match = host
+    return bare_match
+
+
+class MetaInfoGraph:
+    """Co-occurrence graph over runtime log values."""
+
+    def __init__(self, hosts: Sequence[str]):
+        self.hosts = list(hosts)
+        self.node_values: Set[str] = set()  # e.g. {"node1:42349", ...}
+        self.edges: Dict[str, Set[str]] = defaultdict(set)
+        self._node_of: Dict[str, str] = {}
+
+    def add_instance(self, values: Iterable[str]) -> None:
+        """Relate all values of one log instance (Figure 5(c) -> 5(d))."""
+        values = [v for v in (v.strip() for v in values) if v]
+        for value in values:
+            host = host_in_value(value, self.hosts)
+            if host is not None:
+                self.node_values.add(value)
+                self._node_of[value] = host
+        for a in values:
+            for b in values:
+                if a != b:
+                    self.edges[a].add(b)
+        # FIFO association, as the online store does (Figure 6): any value
+        # co-occurring with an already-associated value inherits its node.
+        known = [v for v in values if v in self._node_of]
+        if known:
+            host = self._node_of[known[0]]
+            for value in values:
+                self._node_of.setdefault(value, host)
+
+    def finalize(self) -> None:
+        """Propagate node association transitively (offline only — the
+        online store is single-pass FIFO and deliberately weaker)."""
+        frontier: List[str] = list(self._node_of)
+        while frontier:
+            value = frontier.pop()
+            host = self._node_of[value]
+            for neighbour in self.edges.get(value, ()):
+                if neighbour not in self._node_of:
+                    self._node_of[neighbour] = host
+                    frontier.append(neighbour)
+
+    # ------------------------------------------------------------------
+    def node_of(self, value: str) -> Optional[str]:
+        """The host a runtime value is associated with, if any."""
+        if value in self._node_of:
+            return self._node_of[value]
+        return host_in_value(value, self.hosts)
+
+    def is_meta_value(self, value: str) -> bool:
+        return value in self._node_of
+
+    def meta_values(self) -> Set[str]:
+        return set(self._node_of)
+
+    def values_on(self, host: str) -> Set[str]:
+        return {v for v, h in self._node_of.items() if h == host}
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the high-level view (Figure 1)."""
+        lines = ["graph meta_info {"]
+        for value in sorted(self._node_of):
+            shape = "box" if value in self.node_values else "ellipse"
+            lines.append(f'  "{value}" [shape={shape}];')
+        seen: Set[Tuple[str, str]] = set()
+        for a, neighbours in sorted(self.edges.items()):
+            for b in sorted(neighbours):
+                if (b, a) in seen or a not in self._node_of or b not in self._node_of:
+                    continue
+                seen.add((a, b))
+                lines.append(f'  "{a}" -- "{b}";')
+        lines.append("}")
+        return "\n".join(lines)

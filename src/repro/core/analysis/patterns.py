@@ -1,0 +1,89 @@
+"""Log patterns and instance-to-pattern matching (Sections 3.1.1, 3.3).
+
+A pattern is a logging statement's template with every placeholder replaced
+by ``(.*)`` (Figure 5(b)).  Matching a runtime instance to a pattern uses
+the reverse-index scheme of Xu et al. [58] that the paper adopts: constant
+tokens index into the pattern set, the candidates are scored by token
+overlap, the 10 best are tried for an exact regex match.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.analysis.logging_statements import LogStatement
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9_/.:-]+")
+
+
+def tokenize(text: str) -> List[str]:
+    return _TOKEN_RE.findall(text)
+
+
+@dataclass(frozen=True)
+class LogPattern:
+    """One log pattern: regex plus a link back to its statement."""
+
+    statement: LogStatement
+    regex: str
+    num_slots: int
+
+    @property
+    def template(self) -> str:
+        return self.statement.template
+
+    def match(self, message: str) -> Optional[Tuple[str, ...]]:
+        """Extract the placeholder values, or None if no exact match."""
+        m = re.fullmatch(self.regex, message)
+        if m is None:
+            return None
+        return m.groups()
+
+
+def pattern_for(statement: LogStatement) -> LogPattern:
+    """Compile a statement's template into a pattern (Figure 5(a)->(b))."""
+    parts = statement.template.split("{}")
+    regex = "(.*?)".join(re.escape(p) for p in parts)
+    # the final slot is greedy so trailing free text still binds correctly
+    if len(parts) > 1:
+        head = "(.*?)".join(re.escape(p) for p in parts[:-1])
+        regex = head + "(.*)" + re.escape(parts[-1])
+    return LogPattern(statement=statement, regex=regex, num_slots=len(parts) - 1)
+
+
+class PatternIndex:
+    """Reverse index from constant tokens to patterns, with scored lookup."""
+
+    #: the paper tries the 10 highest-scoring candidates (Section 3.3)
+    CANDIDATES = 10
+
+    def __init__(self, patterns: Sequence[LogPattern]):
+        self.patterns = list(patterns)
+        self._by_token: Dict[str, List[int]] = defaultdict(list)
+        for i, pattern in enumerate(self.patterns):
+            for token in set(tokenize(pattern.template.replace("{}", " "))):
+                self._by_token[token].append(i)
+
+    @classmethod
+    def from_statements(cls, statements: Sequence[LogStatement]) -> "PatternIndex":
+        return cls([pattern_for(s) for s in statements])
+
+    def candidates(self, message: str) -> List[LogPattern]:
+        """The CANDIDATES patterns with the highest token-overlap score."""
+        scores: Dict[int, int] = defaultdict(int)
+        for token in set(tokenize(message)):
+            for i in self._by_token.get(token, ()):
+                scores[i] += 1
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [self.patterns[i] for i, _ in ranked[: self.CANDIDATES]]
+
+    def match(self, message: str) -> Optional[Tuple[LogPattern, Tuple[str, ...]]]:
+        """Match one runtime instance: scored candidates, then exact regex."""
+        for pattern in self.candidates(message):
+            values = pattern.match(message)
+            if values is not None:
+                return pattern, values
+        return None

@@ -1,0 +1,393 @@
+"""A type model of the system under test, built from its Python AST.
+
+This plays the role WALA's class-hierarchy and type information play in the
+paper: it knows every class, every field and its declared type, every
+method's parameter/return annotations, and in which methods each field is
+assigned (for Definition 2's "only set in the constructors" rule).
+
+It also provides a small expression typer, used to answer the two
+questions the analyses ask:
+
+* what is the static type of a logged variable (``LOG.info("... {}", x)``)?
+* what is the static type of an access-site receiver (``x.field``)?
+
+The typer is deliberately modest — annotations, constructor calls, field
+and method lookups — mirroring the paper's choice of a cheap type-based
+analysis over a precise pointer analysis (Section 3.1.2).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.analysis.logging_statements import ModuleSource
+
+#: Base types excluded from Definition 2's generalization rules
+#: (the paper's Integer, String, Enum, byte[], File).
+BASE_TYPE_NAMES = {
+    "str", "int", "float", "bool", "bytes", "object", "Any", "None",
+    "Enum", "File",
+}
+
+#: Names that denote collections (the paper's "collection types").
+COLLECTION_TYPE_NAMES = {"Dict", "List", "Set", "Tuple", "dict", "list", "set", "tuple"}
+
+#: Wrappers to look through when judging a type.
+TRANSPARENT_TYPE_NAMES = {"Optional", "Union"}
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A resolved type reference, e.g. ``Dict[NodeId, SchedulerNode]``."""
+
+    name: str
+    args: Tuple["TypeRef", ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}[{', '.join(str(a) for a in self.args)}]"
+
+    @property
+    def is_collection(self) -> bool:
+        return self.name in COLLECTION_TYPE_NAMES
+
+    @property
+    def is_base(self) -> bool:
+        return self.name in BASE_TYPE_NAMES
+
+    def leaves(self) -> List["TypeRef"]:
+        """The concrete type names this reference mentions (through
+        Optional/Union wrappers and collection parameters)."""
+        if self.name in TRANSPARENT_TYPE_NAMES or self.is_collection:
+            out: List[TypeRef] = []
+            for arg in self.args:
+                out.extend(arg.leaves())
+            return out
+        return [self]
+
+
+@dataclass
+class FieldInfo:
+    """One declared field of a class."""
+
+    name: str
+    owner: str
+    type: Optional[TypeRef]
+    #: "ref" (tracked scalar), "collection" (tracked container), "plain"
+    kind: str
+    #: method names in which the field is assigned ("<class>" = class body)
+    assigned_in: Set[str] = field(default_factory=set)
+
+    def constructor_only(self) -> bool:
+        return self.assigned_in <= {"__init__", "<class>"}
+
+
+@dataclass
+class MethodInfo:
+    """One method: annotations plus its AST for the expression typer."""
+
+    name: str
+    owner: str
+    params: Dict[str, Optional[TypeRef]]
+    returns: Optional[TypeRef]
+    node: ast.FunctionDef
+    lineno: int
+    end_lineno: int
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    bases: List[str]
+    fields: Dict[str, FieldInfo] = field(default_factory=dict)
+    methods: Dict[str, MethodInfo] = field(default_factory=dict)
+    lineno: int = 0
+    end_lineno: int = 0
+
+
+def _annotation_to_typeref(node: Optional[ast.AST]) -> Optional[TypeRef]:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            try:
+                return _annotation_to_typeref(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                return None
+        if node.value is None:
+            return TypeRef("None")
+        return None
+    if isinstance(node, ast.Name):
+        return TypeRef(node.id)
+    if isinstance(node, ast.Attribute):
+        return TypeRef(node.attr)
+    if isinstance(node, ast.Subscript):
+        base = _annotation_to_typeref(node.value)
+        if base is None:
+            return None
+        slc = node.slice
+        arg_nodes = slc.elts if isinstance(slc, ast.Tuple) else [slc]
+        args = tuple(
+            a for a in (_annotation_to_typeref(n) for n in arg_nodes) if a is not None
+        )
+        return TypeRef(base.name, args)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):  # X | Y
+        left = _annotation_to_typeref(node.left)
+        right = _annotation_to_typeref(node.right)
+        args = tuple(a for a in (left, right) if a is not None)
+        return TypeRef("Union", args)
+    return None
+
+
+#: declaration kinds recognized in class bodies
+_TRACKED_DECLS = {
+    "tracked_ref": "ref",
+    "tracked_dict": "collection",
+    "tracked_set": "collection",
+    "tracked_list": "collection",
+}
+
+
+class TypeModel:
+    """All classes of a system, with lookup helpers."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+        self._modules: List[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, sources: List[ModuleSource]) -> "TypeModel":
+        model = cls()
+        for src in sources:
+            model._modules.append(src.name)
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef):
+                    model._add_class(src.name, node)
+        return model
+
+    def _add_class(self, module: str, node: ast.ClassDef) -> None:
+        bases = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        info = ClassInfo(
+            name=node.name, module=module, bases=bases,
+            lineno=node.lineno, end_lineno=node.end_lineno or node.lineno,
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                kind = "plain"
+                if isinstance(stmt.value, ast.Call) and isinstance(stmt.value.func, ast.Name):
+                    kind = _TRACKED_DECLS.get(stmt.value.func.id, "plain")
+                info.fields[stmt.target.id] = FieldInfo(
+                    name=stmt.target.id, owner=node.name,
+                    type=_annotation_to_typeref(stmt.annotation),
+                    kind=kind, assigned_in={"<class>"},
+                )
+            elif isinstance(stmt, ast.FunctionDef):
+                self._add_method(info, stmt)
+        self.classes[node.name] = info
+
+    def _add_method(self, cls_info: ClassInfo, node: ast.FunctionDef) -> None:
+        params: Dict[str, Optional[TypeRef]] = {}
+        for arg in node.args.args + node.args.kwonlyargs:
+            params[arg.arg] = _annotation_to_typeref(arg.annotation)
+        method = MethodInfo(
+            name=node.name, owner=cls_info.name, params=params,
+            returns=_annotation_to_typeref(node.returns), node=node,
+            lineno=node.lineno, end_lineno=node.end_lineno or node.lineno,
+        )
+        cls_info.methods[node.name] = method
+
+        def infer_value_type(value: Optional[ast.AST]) -> Optional[TypeRef]:
+            # `self.x = x` with an annotated parameter is the dominant
+            # constructor idiom; fall back to literal/constructor inference.
+            if isinstance(value, ast.Name) and value.id in params:
+                return params[value.id]
+            return _literal_type(value)
+        # record field assignments (`self.x = ...` / `self.x: T = ...`)
+        for sub in ast.walk(node):
+            target: Optional[ast.AST] = None
+            annotation: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target, value = sub.targets[0], sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                target, annotation, value = sub.target, sub.annotation, sub.value
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            fname = target.attr
+            existing = cls_info.fields.get(fname)
+            if existing is None:
+                cls_info.fields[fname] = FieldInfo(
+                    name=fname, owner=cls_info.name,
+                    type=_annotation_to_typeref(annotation) or infer_value_type(value),
+                    kind="plain", assigned_in={node.name},
+                )
+            else:
+                existing.assigned_in.add(node.name)
+                if existing.type is None:
+                    existing.type = _annotation_to_typeref(annotation) or infer_value_type(value)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def lookup_field(self, class_name: str, field_name: str) -> Optional[FieldInfo]:
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self.classes.get(name)
+            if info is None:
+                continue
+            if field_name in info.fields:
+                return info.fields[field_name]
+            stack.extend(info.bases)
+        return None
+
+    def lookup_method(self, class_name: str, method_name: str) -> Optional[MethodInfo]:
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self.classes.get(name)
+            if info is None:
+                continue
+            if method_name in info.methods:
+                return info.methods[method_name]
+            stack.extend(info.bases)
+        return None
+
+    def subtypes_of(self, type_name: str) -> Set[str]:
+        """Transitive subtypes (by bare class name) of ``type_name``."""
+        out: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for info in self.classes.values():
+                if info.name in out:
+                    continue
+                if any(b == type_name or b in out for b in info.bases):
+                    out.add(info.name)
+                    changed = True
+        return out
+
+    def context_of(self, module: str, lineno: int) -> Tuple[Optional[ClassInfo], Optional[MethodInfo]]:
+        """The (class, method) whose source range contains the line."""
+        best_cls: Optional[ClassInfo] = None
+        for info in self.classes.values():
+            if info.module == module and info.lineno <= lineno <= info.end_lineno:
+                if best_cls is None or info.lineno > best_cls.lineno:
+                    best_cls = info
+        if best_cls is None:
+            return None, None
+        best_m: Optional[MethodInfo] = None
+        for method in best_cls.methods.values():
+            if method.lineno <= lineno <= method.end_lineno:
+                if best_m is None or method.lineno > best_m.lineno:
+                    best_m = method
+        return best_cls, best_m
+
+    def all_fields(self) -> List[FieldInfo]:
+        return [f for c in self.classes.values() for f in c.fields.values()]
+
+
+def _literal_type(value: Optional[ast.AST]) -> Optional[TypeRef]:
+    if isinstance(value, ast.Constant):
+        if isinstance(value.value, bool):
+            return TypeRef("bool")
+        if isinstance(value.value, int):
+            return TypeRef("int")
+        if isinstance(value.value, float):
+            return TypeRef("float")
+        if isinstance(value.value, str):
+            return TypeRef("str")
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return TypeRef(value.func.id)
+    return None
+
+
+class ExprTyper:
+    """Types expressions inside one method, from annotations outward."""
+
+    def __init__(self, model: TypeModel, cls: Optional[ClassInfo], method: Optional[MethodInfo]):
+        self.model = model
+        self.cls = cls
+        self.method = method
+        self._locals: Dict[str, Optional[TypeRef]] = {}
+        if method is not None:
+            self._locals.update(method.params)
+            # one prepass over local assignments (flow-insensitive)
+            for sub in ast.walk(method.node):
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    tgt = sub.targets[0]
+                    if isinstance(tgt, ast.Name) and tgt.id not in self._locals:
+                        self._locals[tgt.id] = self.type_of(sub.value)
+                elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                    self._locals[sub.target.id] = _annotation_to_typeref(sub.annotation)
+
+    def type_of(self, node: ast.AST) -> Optional[TypeRef]:
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self.cls is not None:
+                return TypeRef(self.cls.name)
+            return self._locals.get(node.id)
+        if isinstance(node, ast.Attribute):
+            receiver = self.type_of(node.value)
+            if receiver is None:
+                return None
+            field_info = self.model.lookup_field(receiver.name, node.attr)
+            if field_info is not None:
+                return field_info.type
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("str", "repr", "format"):
+                    return TypeRef("str")
+                if func.id in ("len", "int", "hash"):
+                    return TypeRef("int")
+                if func.id in self.model.classes:
+                    return TypeRef(func.id)
+                return None
+            if isinstance(func, ast.Attribute):
+                receiver = self.type_of(func.value)
+                if receiver is None:
+                    return None
+                method = self.model.lookup_method(receiver.name, func.attr)
+                if method is not None:
+                    return method.returns
+                # collection accessors: m.get(k) on Dict[K, V] -> V
+                if receiver.is_collection and len(receiver.args) >= 1:
+                    if func.attr in ("get", "remove", "pop"):
+                        return receiver.args[-1]
+                return None
+            return None
+        if isinstance(node, ast.JoinedStr):
+            return TypeRef("str")
+        if isinstance(node, ast.Constant):
+            return _literal_type(node)
+        if isinstance(node, ast.Subscript):
+            receiver = self.type_of(node.value)
+            if receiver is not None and receiver.is_collection and receiver.args:
+                return receiver.args[-1]
+            return None
+        return None

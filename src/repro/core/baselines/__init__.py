@@ -1,0 +1,33 @@
+"""The two fault-injection baselines of Section 4.2."""
+
+from repro.core.baselines.io_injection import (
+    IOInjectionOutcome,
+    IOInjectionResult,
+    run_io_injection,
+)
+from repro.core.baselines.io_points import (
+    DynamicIOPoint,
+    IOPointReport,
+    StaticIOPoint,
+    find_io_points,
+    profile_io_points,
+)
+from repro.core.baselines.random_injection import (
+    RandomInjectionOutcome,
+    RandomInjectionResult,
+    run_random_injection,
+)
+
+__all__ = [
+    "DynamicIOPoint",
+    "IOInjectionOutcome",
+    "IOInjectionResult",
+    "IOPointReport",
+    "RandomInjectionOutcome",
+    "RandomInjectionResult",
+    "StaticIOPoint",
+    "find_io_points",
+    "profile_io_points",
+    "run_io_injection",
+    "run_random_injection",
+]

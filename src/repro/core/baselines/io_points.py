@@ -1,0 +1,162 @@
+"""IO point identification (paper Section 4.2.2, Table 8).
+
+IO classes are classes implementing ``Closeable`` (the substrate's
+equivalent of ``java.io.Closeable``); IO methods are their public methods
+whose names start with ``read``/``write``/``flush``/``close``; static IO
+points are call sites to IO methods; dynamic IO points are executed static
+IO points with calling context — all found by the same machinery the
+meta-info analysis uses, so the comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.io import IO_BUS, IOEvent
+from repro.core.analysis import AnalysisReport
+from repro.core.analysis.types import TypeModel
+from repro.systems.base import SystemUnderTest, run_workload
+
+IO_METHOD_PREFIXES = ("read", "write", "flush", "close")
+
+
+@dataclass(frozen=True)
+class StaticIOPoint:
+    module: str
+    lineno: int
+    method: str
+    enclosing: str
+
+    @property
+    def location(self) -> Tuple[str, int]:
+        return (self.module, self.lineno)
+
+
+@dataclass(frozen=True)
+class DynamicIOPoint:
+    point: StaticIOPoint
+    stack: Tuple[str, ...]
+    scale: int = 1
+
+
+@dataclass
+class IOPointReport:
+    """The Table 8 row for one system."""
+
+    system: str
+    io_classes: List[str]
+    io_methods: List[str]  # "Class.method"
+    static_points: List[StaticIOPoint]
+    dynamic_points: List[DynamicIOPoint] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "io_classes": len(self.io_classes),
+            "io_methods": len(self.io_methods),
+            "static_io_points": len(self.static_points),
+            "dynamic_io_points": len(self.dynamic_points),
+        }
+
+
+def _io_classes(model: TypeModel) -> Set[str]:
+    """Closeable and its transitive subtypes."""
+    return {"Closeable"} | model.subtypes_of("Closeable")
+
+
+def find_io_points(analysis: AnalysisReport) -> IOPointReport:
+    """Static IO classes/methods/points for one analysed system."""
+    from repro.cluster import io as io_module
+    from repro.core.analysis.logging_statements import ModuleSource
+
+    # The IO library itself is part of the analysed program, like
+    # java.io is part of the JVM's class universe.
+    sources = list(analysis.sources)
+    if all(s.name != io_module.__name__ for s in sources):
+        sources.append(ModuleSource.load(io_module))
+    model = TypeModel.build(sources)
+    classes = _io_classes(model)
+    methods: List[str] = []
+    method_names: Set[str] = set()
+    for cls_name in sorted(classes):
+        info = model.classes.get(cls_name)
+        if info is None:
+            continue
+        for method in info.methods.values():
+            if method.name.startswith(IO_METHOD_PREFIXES):
+                methods.append(f"{cls_name}.{method.name}")
+                method_names.add(method.name)
+
+    points: List[StaticIOPoint] = []
+    for src in sources:
+        if src.name == io_module.__name__:
+            continue  # call sites inside the IO library are not app points
+        for cls_info in model.classes.values():
+            if cls_info.module != src.name:
+                continue
+            for method in cls_info.methods.values():
+                for node in ast.walk(method.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    if func.attr not in method_names:
+                        continue
+                    points.append(StaticIOPoint(
+                        module=src.name, lineno=node.lineno, method=func.attr,
+                        enclosing=f"{cls_info.name}.{method.name}",
+                    ))
+    return IOPointReport(
+        system=analysis.system,
+        io_classes=sorted(classes & set(model.classes)),
+        io_methods=methods,
+        static_points=points,
+    )
+
+
+def profile_io_points(
+    system: SystemUnderTest,
+    report: IOPointReport,
+    seed: int = 0,
+    config: Optional[Dict[str, Any]] = None,
+    max_iterations: int = 3,
+) -> IOPointReport:
+    """Fill in dynamic IO points with the profiler's doubling strategy."""
+    by_location: Dict[Tuple[str, int], StaticIOPoint] = {
+        p.location: p for p in report.static_points
+    }
+    found: Dict[Tuple, DynamicIOPoint] = {}
+    scale = 1
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        before = len(found)
+
+        def hook(event: IOEvent, _scale: int = scale) -> None:
+            if event.phase != "before":
+                return
+            point = by_location.get(event.location)
+            if point is None:
+                return
+            key = (point.location, event.stack)
+            found.setdefault(key, DynamicIOPoint(point=point, stack=event.stack,
+                                                 scale=_scale))
+
+        IO_BUS.capture_stacks = True
+        IO_BUS.add_hook(hook)
+        try:
+            run_workload(system, seed=seed, config=config, scale=scale,
+                         keep_cluster=False)
+        finally:
+            IO_BUS.remove_hook(hook)
+            if not IO_BUS.enabled:
+                IO_BUS.capture_stacks = False
+        if len(found) == before:
+            break
+        scale *= 2
+    report.dynamic_points = sorted(
+        found.values(), key=lambda d: (d.point.location, d.stack)
+    )
+    return report

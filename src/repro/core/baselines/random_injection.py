@@ -1,0 +1,127 @@
+"""Random crash injection (paper Section 4.2.1, Table 7).
+
+Each test run injects one crash (or graceful shutdown) of one randomly
+chosen cluster node at a uniformly random time within the profiled clean
+runtime, then applies the same oracles as CrashTuner.
+
+One scoring rule the paper applies implicitly: killing a non-HA singleton
+master *is* expected to take the cluster down, so a run whose only symptom
+follows trivially from crashing the critical master is not a bug.  We mark
+those runs ``discounted``.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.injection.campaign import COOLDOWN, BugMatcherFn
+from repro.core.injection.oracles import Baseline, OracleVerdict, build_baseline, evaluate_run
+from repro.sim import SimRandom
+from repro.systems.base import RunReport, SystemUnderTest, run_workload
+
+
+@dataclass
+class RandomInjectionOutcome:
+    run_index: int
+    target_host: str
+    action: str  # "crash" | "shutdown"
+    at_time: float
+    verdict: OracleVerdict
+    matched_bugs: List[str] = field(default_factory=list)
+    discounted: bool = False  # symptom trivially explained by killing a master
+
+    @property
+    def counted(self) -> bool:
+        return self.verdict.flagged and not self.discounted
+
+
+@dataclass
+class RandomInjectionResult:
+    system: str
+    runs: int
+    outcomes: List[RandomInjectionOutcome]
+    baseline: Baseline
+    wall_seconds: float
+    sim_seconds: float
+
+    def detected_bugs(self) -> Dict[str, int]:
+        """bug id -> number of runs that triggered it (Table 7 style)."""
+        out: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.discounted:
+                continue
+            for bug in outcome.matched_bugs:
+                out[bug] = out.get(bug, 0) + 1
+        return out
+
+    def flagged_runs(self) -> List[RandomInjectionOutcome]:
+        return [o for o in self.outcomes if o.counted]
+
+
+def run_random_injection(
+    system: SystemUnderTest,
+    runs: int = 100,
+    seed: int = 0,
+    config: Optional[Dict[str, Any]] = None,
+    baseline: Optional[Baseline] = None,
+    matcher: Optional[BugMatcherFn] = None,
+) -> RandomInjectionResult:
+    """Run the random fault-injection baseline for ``runs`` test runs."""
+    wall0 = _wallclock.perf_counter()
+    if baseline is None:
+        baseline = build_baseline(system, config=config)
+    rng = SimRandom(seed ^ 0x5EED).stream("random-injection")
+    outcomes: List[RandomInjectionOutcome] = []
+    sim_seconds = 0.0
+    for i in range(runs):
+        at_time = rng.uniform(0.0, baseline.mean_duration)
+        action = rng.choice(["crash", "shutdown"])
+        picked: Dict[str, Any] = {}
+
+        def before_run(cluster, workload, _at=at_time, _action=action, _picked=picked):
+            hosts = sorted({
+                n.host for n in cluster.nodes.values() if n.role != "client"
+            })
+            host = rng.choice(hosts)
+            _picked["host"] = host
+            _picked["critical"] = any(
+                n.critical for n in cluster.nodes.values() if n.host == host
+            )
+
+            def inject():
+                if _action == "crash":
+                    cluster.crash_host(_picked["host"])
+                else:
+                    cluster.shutdown_host(_picked["host"])
+
+            cluster.loop.schedule(_at, inject, kind="fault")
+
+        report = run_workload(
+            system, seed=seed + i, config=config,
+            before_run=before_run, cooldown=COOLDOWN,
+        )
+        verdict = evaluate_run(report, baseline)
+        discounted = bool(picked.get("critical")) and verdict.flagged and not (
+            verdict.uncommon_exceptions or verdict.timeout_issue
+        )
+        matched = matcher(report, verdict) if (matcher and verdict.flagged) else []
+        outcomes.append(RandomInjectionOutcome(
+            run_index=i,
+            target_host=picked.get("host", "?"),
+            action=action,
+            at_time=at_time,
+            verdict=verdict,
+            matched_bugs=matched,
+            discounted=discounted,
+        ))
+        sim_seconds += report.duration
+    return RandomInjectionResult(
+        system=system.name,
+        runs=runs,
+        outcomes=outcomes,
+        baseline=baseline,
+        wall_seconds=_wallclock.perf_counter() - wall0,
+        sim_seconds=sim_seconds,
+    )

@@ -1,0 +1,9 @@
+"""Extensions beyond the paper's evaluated scope (its stated future work)."""
+
+from repro.core.extensions.multi_crash import (
+    MultiCrashOutcome,
+    MultiCrashResult,
+    run_multi_crash_campaign,
+)
+
+__all__ = ["MultiCrashOutcome", "MultiCrashResult", "run_multi_crash_campaign"]

@@ -1,0 +1,178 @@
+"""The fault-injection testing campaign (paper Figure 4, bottom half).
+
+Exercises each dynamic crash point in its own cluster run: the online log
+agent feeds the meta-info store, the trigger arms the point, the control
+center injects the fault, and the oracles judge the outcome.  Flagged
+hangs are optionally re-run with an extended deadline to separate the
+paper's "timeout issues" (Section 4.1.3) from true hangs.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.analysis import AnalysisReport
+from repro.core.injection.control_center import ControlCenter, InjectionRecord
+from repro.core.injection.online_log import OnlineLogAgent, OnlineMetaStore
+from repro.core.injection.oracles import Baseline, OracleVerdict, build_baseline, evaluate_run
+from repro.core.injection.trigger import Trigger
+from repro.core.profiler import DynamicCrashPoint
+from repro.systems.base import RunReport, SystemUnderTest, run_workload
+
+#: signature of a bug-attribution function (see repro.bugs.match_bugs)
+BugMatcherFn = Callable[[RunReport, OracleVerdict], List[str]]
+
+#: grace period after workload completion, so delayed symptoms (stale
+#: timers, leak auditors) land in the observed logs
+COOLDOWN = 10.0
+
+
+@dataclass
+class InjectionOutcome:
+    """One dynamic crash point, tested once."""
+
+    dpoint: DynamicCrashPoint
+    fired: bool
+    injection: Optional[InjectionRecord]
+    verdict: OracleVerdict
+    matched_bugs: List[str] = field(default_factory=list)
+    duration: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def flagged(self) -> bool:
+        return self.verdict.flagged
+
+
+@dataclass
+class CampaignResult:
+    system: str
+    outcomes: List[InjectionOutcome]
+    baseline: Baseline
+    wall_seconds: float
+    #: simulated hours spent across all test runs (the paper's Test column)
+    sim_seconds: float
+
+    def flagged(self) -> List[InjectionOutcome]:
+        return [o for o in self.outcomes if o.flagged]
+
+    def detected_bugs(self) -> Dict[str, List[InjectionOutcome]]:
+        """Deduplicated: bug id -> the outcomes that exposed it."""
+        out: Dict[str, List[InjectionOutcome]] = {}
+        for outcome in self.outcomes:
+            for bug in outcome.matched_bugs:
+                out.setdefault(bug, []).append(outcome)
+        return out
+
+
+def run_one_injection(
+    system: SystemUnderTest,
+    analysis: AnalysisReport,
+    dpoint: DynamicCrashPoint,
+    baseline: Baseline,
+    seed: int = 0,
+    config: Optional[Dict[str, Any]] = None,
+    wait: float = 1.0,
+    random_fallback: bool = False,
+    extended_factor: float = 400.0,
+    classify_timeouts: bool = True,
+    matcher: Optional[BugMatcherFn] = None,
+) -> InjectionOutcome:
+    """Test one dynamic crash point (optionally re-running flagged hangs)."""
+    wall0 = _wallclock.perf_counter()
+    report, trigger, center = _drive(
+        system, analysis, dpoint, seed, config, wait, random_fallback, deadline=None,
+    )
+    verdict = evaluate_run(report, baseline)
+    if verdict.hang and classify_timeouts and trigger.fired:
+        extended = system.base_runtime() * extended_factor * max(1, dpoint.scale)
+        rerun, trigger2, _ = _drive(
+            system, analysis, dpoint, seed, config, wait, random_fallback,
+            deadline=extended,
+        )
+        if rerun.completed:
+            verdict = evaluate_run(rerun, baseline)
+            verdict.timeout_issue = True
+            verdict.hang = False
+            report = rerun
+    matched = matcher(report, verdict) if (matcher and verdict.flagged) else []
+    return InjectionOutcome(
+        dpoint=dpoint,
+        fired=trigger.fired,
+        injection=center.injection,
+        verdict=verdict,
+        matched_bugs=matched,
+        duration=report.duration,
+        wall_seconds=_wallclock.perf_counter() - wall0,
+    )
+
+
+def _drive(
+    system: SystemUnderTest,
+    analysis: AnalysisReport,
+    dpoint: DynamicCrashPoint,
+    seed: int,
+    config: Optional[Dict[str, Any]],
+    wait: float,
+    random_fallback: bool,
+    deadline: Optional[float],
+):
+    holder: Dict[str, Any] = {}
+
+    def before_run(cluster, workload) -> None:
+        store = OnlineMetaStore(analysis.hosts)
+        agent = OnlineLogAgent(analysis.index, analysis.log_result.meta_slots, store)
+        assert cluster.log_collector is not None
+        agent.attach(cluster.log_collector)
+        center = ControlCenter(cluster, store, wait=wait, random_fallback=random_fallback)
+        trigger = Trigger(dpoint, center)
+        trigger.install()
+        holder["trigger"] = trigger
+        holder["center"] = center
+
+    try:
+        report = run_workload(
+            system, seed=seed, config=config, scale=dpoint.scale,
+            deadline=deadline, before_run=before_run, cooldown=COOLDOWN,
+        )
+    finally:
+        if "trigger" in holder:
+            holder["trigger"].uninstall()
+    return report, holder["trigger"], holder["center"]
+
+
+def run_campaign(
+    system: SystemUnderTest,
+    analysis: AnalysisReport,
+    dynamic_points: List[DynamicCrashPoint],
+    seed: int = 0,
+    config: Optional[Dict[str, Any]] = None,
+    baseline: Optional[Baseline] = None,
+    matcher: Optional[BugMatcherFn] = None,
+    wait: float = 1.0,
+    random_fallback: bool = False,
+    classify_timeouts: bool = True,
+) -> CampaignResult:
+    """Exercise every dynamic crash point, one run each (Figure 4)."""
+    wall0 = _wallclock.perf_counter()
+    if baseline is None:
+        baseline = build_baseline(system, config=config)
+    outcomes: List[InjectionOutcome] = []
+    sim_seconds = 0.0
+    for dpoint in dynamic_points:
+        outcome = run_one_injection(
+            system, analysis, dpoint, baseline, seed=seed, config=config,
+            wait=wait, random_fallback=random_fallback,
+            classify_timeouts=classify_timeouts, matcher=matcher,
+        )
+        outcomes.append(outcome)
+        sim_seconds += outcome.duration
+    return CampaignResult(
+        system=system.name,
+        outcomes=outcomes,
+        baseline=baseline,
+        wall_seconds=_wallclock.perf_counter() - wall0,
+        sim_seconds=sim_seconds,
+    )

@@ -1,0 +1,124 @@
+"""The Control Center (paper Figure 7).
+
+Handles the shutdown/crash RPCs issued by the instrumented crash point:
+dedupes (each dynamic crash point is exercised once), queries the online
+meta-info store for the target node, and drives the script library —
+``Cluster.shutdown_host`` / ``Cluster.crash_host``.
+
+One adaptation, documented in DESIGN.md: a *post-write* injection whose
+target is the machine currently executing cannot be a kill -9 delivered
+from inside its own instruction stream; the tool uses the shutdown script
+for self-targets (this is how the "shutdown during initialization" bugs of
+Table 5 were exposed) and an abrupt crash for remote targets, raising
+:class:`NodeCrashedError` when the executing process itself dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster import Cluster
+from repro.core.injection.online_log import OnlineMetaStore
+from repro.errors import NodeCrashedError
+from repro.mtlog import get_logger
+
+LOG = get_logger("crashtuner.controlcenter")
+
+
+@dataclass
+class InjectionRecord:
+    """What the control center actually did, for reports and tests."""
+
+    kind: str  # "shutdown" | "crash"
+    target_host: str
+    value: str
+    time: float
+    killed: List[str] = field(default_factory=list)
+
+
+class ControlCenter:
+    """Executes at most one fault per test run."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        store: OnlineMetaStore,
+        wait: float = 1.0,
+        random_fallback: bool = False,
+    ):
+        self.cluster = cluster
+        self.store = store
+        self.wait = wait
+        self.random_fallback = random_fallback
+        self.injection: Optional[InjectionRecord] = None
+        self.unresolved_values: List[str] = []
+        self._rng = cluster.random.stream("control-center-fallback")
+
+    # ------------------------------------------------------------------
+    def _resolve(self, values: List[str], executing: str) -> Optional[str]:
+        for value in values:
+            host = self.store.query(value)
+            if host is not None:
+                return host
+        self.unresolved_values.extend(values)
+        if self.random_fallback:
+            candidates = [
+                n.host for n in self.cluster.nodes.values()
+                if n.role != "client" and not n.is_dead()
+            ]
+            if candidates:
+                return self._rng.choice(sorted(set(candidates)))
+        return None
+
+    def shutdown_rpc(self, values: List[str], executing: str) -> bool:
+        """Pre-read injection: graceful shutdown of the target + wait."""
+        if self.injection is not None:
+            return False
+        target = self._resolve(values, executing)
+        if target is None:
+            return False
+        LOG.info("CrashTuner shutting down {} (pre-read injection)", target)
+        killed = self.cluster.shutdown_host(target)
+        self.injection = InjectionRecord(
+            kind="shutdown", target_host=target,
+            value=values[0] if values else "", time=self.cluster.loop.now,
+            killed=killed,
+        )
+        # The instrumented wait: the reading thread blocks while the
+        # departure is handled by the rest of the cluster.
+        self.cluster.loop.pump(self.wait)
+        return True
+
+    def crash_rpc(self, values: List[str], executing: str) -> bool:
+        """Post-write injection: crash the target."""
+        if self.injection is not None:
+            return False
+        target = self._resolve(values, executing)
+        if target is None:
+            return False
+        executing_host = ""
+        if executing and executing in self.cluster.nodes:
+            executing_host = self.cluster.nodes[executing].host
+        if target == executing_host:
+            # Self-target: delivered through the shutdown script (see the
+            # module docstring); the write has already happened.
+            LOG.info("CrashTuner shutting down {} (post-write self-target)", target)
+            killed = self.cluster.shutdown_host(target)
+            self.injection = InjectionRecord(
+                kind="shutdown", target_host=target,
+                value=values[0] if values else "", time=self.cluster.loop.now,
+                killed=killed,
+            )
+            self.cluster.loop.pump(self.wait)
+            return True
+        LOG.info("CrashTuner crashing {} (post-write injection)", target)
+        killed = self.cluster.crash_host(target)
+        self.injection = InjectionRecord(
+            kind="crash", target_host=target,
+            value=values[0] if values else "", time=self.cluster.loop.now,
+            killed=killed,
+        )
+        if executing in killed:
+            raise NodeCrashedError(executing)
+        return True

@@ -1,0 +1,103 @@
+"""Online log analysis (paper Sections 3.2.1 and 3.3, Figure 6).
+
+A light-weight agent tails every node's log stream (the Logstash role),
+extracts only the runtime values of known meta-info variables (the filter
+derived from offline analysis), and maintains the store of Figure 6:
+
+* a HashSet of node values (values matching a configured host), and
+* a HashMap associating every other meta-info value to a node, built in
+  FIFO order from co-occurrence in single log instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.analysis.log_analysis import SlotKey
+from repro.core.analysis.meta_graph import host_in_value
+from repro.core.analysis.patterns import PatternIndex
+from repro.mtlog import LogCollector
+from repro.mtlog.records import LogRecord
+
+
+class OnlineMetaStore:
+    """The custom stash: HashSet of nodes + HashMap value -> node."""
+
+    def __init__(self, hosts: Sequence[str]):
+        self.hosts = list(hosts)
+        self.node_set: Set[str] = set()
+        self.value_node: Dict[str, str] = {}
+
+    def process(self, values: Iterable[str]) -> None:
+        """Process one instance's meta-info values in FIFO order."""
+        values = [v for v in (v.strip() for v in values) if v]
+        for value in values:
+            host = host_in_value(value, self.hosts)
+            if host is not None:
+                self.node_set.add(value)
+                self.value_node.setdefault(value, host)
+        anchor: Optional[str] = None
+        for value in values:
+            if value in self.value_node:
+                anchor = self.value_node[value]
+                break
+        if anchor is None:
+            return  # values unassociated to any node are discarded
+        for value in values:
+            self.value_node.setdefault(value, anchor)
+
+    def query(self, value: str) -> Optional[str]:
+        """The host to crash for a runtime meta-info value, if known."""
+        value = value.strip()
+        if value in self.value_node:
+            return self.value_node[value]
+        # toString() forms often embed the node id directly
+        # (DatanodeInfoWithStorage[node2:9866,...]): fall back to the same
+        # host filter the node set uses.
+        return host_in_value(value, self.hosts)
+
+    def size(self) -> int:
+        return len(self.value_node)
+
+
+class OnlineLogAgent:
+    """Subscribes to the cluster's log stream and feeds the store.
+
+    The filter: only the (pattern, slot) pairs that offline analysis found
+    to be meta-info variables are extracted and shipped (Section 3.2.1,
+    "only the runtime values of meta-info variables are sent out").
+    """
+
+    def __init__(
+        self,
+        index: PatternIndex,
+        meta_slots: Set[SlotKey],
+        store: OnlineMetaStore,
+    ):
+        self.index = index
+        self.meta_slots = meta_slots
+        self.store = store
+        self.records_seen = 0
+        self.values_shipped = 0
+
+    def __call__(self, record: LogRecord) -> None:
+        self.records_seen += 1
+        hit = self.index.match(record.message)
+        if hit is None:
+            return
+        pattern, values = hit
+        key = pattern.statement.key()
+        shipped: List[str] = []
+        for slot, value in enumerate(values):
+            if (key, slot) in self.meta_slots:
+                shipped.append(value)
+        if not shipped:
+            return
+        self.values_shipped += len(shipped)
+        self.store.process(shipped)
+
+    def attach(self, collector: LogCollector) -> None:
+        collector.subscribe(self)
+        # replay anything logged before the agent attached
+        for record in collector.records:
+            self(record)

@@ -1,0 +1,111 @@
+"""Bug oracles (paper Section 3.2.2, end).
+
+A test run is flagged when any of the paper's three conditions holds:
+
+1. **job failure** — the workload completed but did not succeed;
+2. **system hang** — the workload did not reach a terminal state within
+   the deadline (default 4x one clean run, Section 4.1.3); a flagged hang
+   can optionally be re-run with an extended deadline to separate true
+   hangs from the paper's "timeout issues" (tasks finish, but take ~10
+   minutes);
+3. **uncommon exceptions** — error-level log signatures never observed in
+   clean baseline runs.
+
+Silent errors are out of scope, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.systems.base import RunReport, SystemUnderTest, run_workload
+
+Signature = Tuple[str, str, str, Optional[str]]
+
+
+@dataclass
+class Baseline:
+    """What clean runs look like: log signatures + duration stats."""
+
+    system: str
+    signatures: Set[Signature]
+    mean_duration: float
+    runs: int
+
+
+def build_baseline(
+    system: SystemUnderTest,
+    seeds: Optional[List[int]] = None,
+    config: Optional[Dict[str, Any]] = None,
+    scale: int = 1,
+) -> Baseline:
+    """Run the workload cleanly a few times and collect signatures."""
+    seeds = seeds if seeds is not None else list(range(5))
+    signatures: Set[Signature] = set()
+    total = 0.0
+    for seed in seeds:
+        report = run_workload(system, seed=seed, config=config, scale=scale,
+                              cooldown=10.0)
+        assert report.log is not None
+        for record in report.log.records:
+            if record.is_error:
+                signatures.add(record.signature())
+        total += report.duration
+    return Baseline(
+        system=system.name,
+        signatures=signatures,
+        mean_duration=total / max(1, len(seeds)),
+        runs=len(seeds),
+    )
+
+
+@dataclass
+class OracleVerdict:
+    """The oracle decision for one test run."""
+
+    job_failure: bool
+    hang: bool
+    timeout_issue: bool  # hang that completed under an extended deadline
+    uncommon_exceptions: List[str] = field(default_factory=list)
+    critical_aborts: List[str] = field(default_factory=list)
+
+    @property
+    def flagged(self) -> bool:
+        return bool(
+            self.job_failure
+            or self.hang
+            or self.timeout_issue
+            or self.uncommon_exceptions
+            or self.critical_aborts
+        )
+
+    def kinds(self) -> List[str]:
+        out = []
+        if self.job_failure:
+            out.append("job-failure")
+        if self.hang:
+            out.append("hang")
+        if self.timeout_issue:
+            out.append("timeout")
+        if self.uncommon_exceptions:
+            out.append("uncommon-exception")
+        if self.critical_aborts:
+            out.append("cluster-down")
+        return out
+
+
+def evaluate_run(report: RunReport, baseline: Baseline) -> OracleVerdict:
+    """Apply the three oracles to one run (no extended re-run here)."""
+    uncommon: List[str] = []
+    if report.log is not None:
+        for record in report.log.records:
+            if record.is_error and record.signature() not in baseline.signatures:
+                uncommon.append(str(record))
+    return OracleVerdict(
+        job_failure=report.job_failure,
+        hang=report.hang,
+        timeout_issue=False,
+        uncommon_exceptions=uncommon,
+        critical_aborts=list(report.critical_aborts),
+    )

@@ -1,0 +1,69 @@
+"""The Trigger: per-run instrumentation of one dynamic crash point.
+
+In the paper, Javassist instruments exactly one crash point per test run
+with a shutdown-RPC-and-wait (pre-read) or a crash RPC (post-write).  Here
+the trigger is an access-bus hook armed for one
+:class:`~repro.core.profiler.DynamicCrashPoint`: when a runtime access
+event matches the point's location, operation, field, *and* bounded call
+stack, the control center is invoked with the accessed meta-info values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.state import BUS, AccessEvent
+from repro.core.injection.control_center import ControlCenter
+from repro.core.profiler import DynamicCrashPoint
+
+
+class Trigger:
+    """Arms one dynamic crash point on the global access bus."""
+
+    def __init__(self, dpoint: DynamicCrashPoint, center: ControlCenter):
+        self.dpoint = dpoint
+        self.center = center
+        self.fired = False
+        self.hits = 0
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        BUS.capture_stacks = True
+        BUS.add_hook(self._hook)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            BUS.remove_hook(self._hook)
+            self._installed = False
+            if not BUS.enabled:
+                BUS.capture_stacks = False
+
+    # ------------------------------------------------------------------
+    def _matches(self, event: AccessEvent) -> bool:
+        point = self.dpoint.point
+        if event.op != point.op:
+            return False
+        if (event.field.cls, event.field.name) != (point.field_cls, point.field_name):
+            return False
+        if point.promoted:
+            if len(event.stack) < 2:
+                return False
+            if event.stack[1] != f"{point.module}.{point.enclosing}:{point.lineno}":
+                return False
+        else:
+            if event.location != (point.module, point.lineno):
+                return False
+        return event.stack == self.dpoint.stack
+
+    def _hook(self, event: AccessEvent) -> None:
+        if self.fired or not self._matches(event):
+            return
+        self.hits += 1
+        self.fired = True  # each dynamic crash point is exercised once
+        values = list(event.values)
+        if self.dpoint.point.op == "read":
+            self.center.shutdown_rpc(values, event.node)
+        else:
+            self.center.crash_rpc(values, event.node)

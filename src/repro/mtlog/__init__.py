@@ -1,0 +1,21 @@
+"""Logging substrate: SLF4J-style template loggers + per-cluster collection.
+
+The systems under test log through this package exactly as the paper's
+Java systems log through Log4j/SLF4J, preserving both the literal template
+(for offline pattern extraction) and the runtime values (for the online
+value-to-node mapping).
+"""
+
+from repro.mtlog.collector import LogCollector
+from repro.mtlog.logger import Logger, get_logger, render
+from repro.mtlog.records import LEVELS, LogRecord, level_rank
+
+__all__ = [
+    "LEVELS",
+    "LogCollector",
+    "LogRecord",
+    "Logger",
+    "get_logger",
+    "level_rank",
+    "render",
+]

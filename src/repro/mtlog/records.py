@@ -1,0 +1,67 @@
+"""Log records and levels for the logging substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Ordered severity levels, mirroring the Log4j/SLF4J interface names the
+#: paper's log analysis keys on (Section 3.1.1).
+LEVELS = ("trace", "debug", "info", "warn", "error", "fatal")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+def level_rank(level: str) -> int:
+    """Numeric rank of a level name (trace=0 ... fatal=5)."""
+    return _LEVEL_RANK[level]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One runtime log instance.
+
+    Attributes:
+        time: simulated timestamp.
+        node: name of the node that emitted the record ("" outside nodes).
+        component: logger name, typically the emitting module.
+        level: one of :data:`LEVELS`.
+        template: the literal format string from the logging statement,
+            with ``{}`` placeholders (SLF4J style).  This is what offline
+            log analysis turns into a log pattern.
+        args: rendered (stringified) runtime values of the logged variables,
+            in placeholder order.
+        message: the fully rendered message.
+        location: ``(module, lineno)`` of the logging statement, letting the
+            analysis tie a runtime instance back to its statement exactly.
+        exc: rendered exception (type and message) if one was attached.
+    """
+
+    time: float
+    node: str
+    component: str
+    level: str
+    template: str
+    args: Tuple[str, ...]
+    message: str
+    location: Tuple[str, int]
+    exc: Optional[str] = field(default=None)
+
+    @property
+    def is_error(self) -> bool:
+        return level_rank(self.level) >= level_rank("error")
+
+    def signature(self) -> Tuple[str, str, str, Optional[str]]:
+        """Stable identity of *what* was logged, ignoring runtime values.
+
+        Used by the uncommon-exception oracle to compare a test run against
+        clean baseline runs.
+        """
+        exc_type = self.exc.split(":", 1)[0] if self.exc else None
+        return (self.component, self.level, self.template, exc_type)
+
+    def __str__(self) -> str:
+        base = f"[{self.time:10.4f}] {self.node or '-'} {self.level.upper():5s} {self.component}: {self.message}"
+        if self.exc:
+            base += f" !{self.exc}"
+        return base

@@ -1,0 +1,6 @@
+"""Simulated network: messages, latency, delivery/drop semantics."""
+
+from repro.net.message import Message
+from repro.net.network import Network
+
+__all__ = ["Message", "Network"]

@@ -1,0 +1,38 @@
+"""RPC messages exchanged between simulated nodes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+_MSG_SEQ = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A one-way RPC.
+
+    The simulated systems are event-driven: an RPC is a message whose
+    ``method`` selects the handler ``on_<method>`` on the destination node,
+    and replies are just messages in the other direction.  This matches the
+    asynchronous RPC/event style of YARN, HBase and friends.
+
+    Attributes:
+        src: name of the sending node.
+        dst: name of the destination node.
+        method: handler selector.
+        payload: keyword arguments for the handler.
+        msg_id: unique id, useful for traces and message-level assertions.
+        send_time: simulated time the message was handed to the network.
+    """
+
+    src: str
+    dst: str
+    method: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_MSG_SEQ))
+    send_time: float = 0.0
+
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst} {self.method}#{self.msg_id}"

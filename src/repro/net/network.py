@@ -1,0 +1,81 @@
+"""The simulated network: message delivery with latency and crash semantics.
+
+Delivery rules (chosen to match what fault injection needs to observe):
+
+* messages experience a small random latency drawn from a dedicated RNG
+  stream, so event interleavings are realistic but deterministic per seed;
+* a message already in flight when its *sender* crashes is still delivered
+  (the packet left the machine);
+* a message whose *destination* is not accepting (crashed, stopped, or not
+  yet started) is dropped at delivery time — exactly how a TCP connection
+  to a dead node fails;
+* dropped deliveries are counted and traceable for tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+class Network:
+    """Delivers messages between the nodes of one cluster."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        min_latency: float = 0.0005,
+        max_latency: float = 0.0020,
+    ):
+        self.cluster = cluster
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self._rng = cluster.random.stream("network-latency")
+        self.delivered = 0
+        self.dropped: List[Tuple[str, str]] = []  # (dst, method) of drops
+        # Per-connection FIFO: like TCP, two messages on the same (src, dst)
+        # channel never reorder, while different channels race freely.
+        self._last_delivery: dict = {}
+
+    def latency(self) -> float:
+        return self._rng.uniform(self.min_latency, self.max_latency)
+
+    def send(self, src: str, dst: str, method: str, **payload: Any) -> Message:
+        """Queue a message for delivery after a latency delay."""
+        msg = Message(
+            src=src,
+            dst=dst,
+            method=method,
+            payload=payload,
+            send_time=self.cluster.loop.now,
+        )
+        now = self.cluster.loop.now
+        deliver_at = now + self.latency()
+        channel = (src, dst)
+        floor = self._last_delivery.get(channel, 0.0)
+        if deliver_at <= floor:
+            deliver_at = floor + 1e-9
+        self._last_delivery[channel] = deliver_at
+        self.cluster.loop.schedule_at(
+            deliver_at,
+            lambda: self._deliver(msg),
+            owner=dst,
+            kind="message",
+        )
+        return msg
+
+    def _deliver(self, msg: Message) -> None:
+        node = self.cluster.nodes.get(msg.dst)
+        if node is None or not node.accepting_messages():
+            self.dropped.append((msg.dst, msg.method))
+            return
+        self.delivered += 1
+        node.dispatch_message(msg)
+
+    def broadcast(self, src: str, dsts: List[str], method: str, **payload: Any) -> None:
+        for dst in dsts:
+            self.send(src, dst, method, **payload)

@@ -1,0 +1,56 @@
+"""Ambient execution context for a simulation run.
+
+The substrate is single-threaded: at any instant exactly one cluster is
+running and (while a handler executes) exactly one node is "on CPU".  This
+module holds that ambient state so low-level layers — the logging substrate
+and the tracked-state access hooks — can attribute records and access
+events to the right node without threading a context object through every
+call, mirroring how Log4j and Javassist hooks read thread-local state in
+the original Java implementation.
+
+The cluster installs itself via :func:`activate_cluster`; node dispatch
+brackets handler execution with :func:`push_node` / :func:`pop_node`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cluster.cluster import Cluster
+
+_active_cluster: Optional["Cluster"] = None
+_node_stack: List[str] = []
+
+
+def activate_cluster(cluster: Optional["Cluster"]) -> None:
+    """Install (or with ``None``, clear) the ambient cluster."""
+    global _active_cluster
+    _active_cluster = cluster
+    _node_stack.clear()
+
+
+def active_cluster() -> Optional["Cluster"]:
+    return _active_cluster
+
+
+def current_time() -> float:
+    """Simulated time of the active cluster, or 0.0 outside a simulation."""
+    if _active_cluster is None:
+        return 0.0
+    return _active_cluster.loop.now
+
+
+def push_node(name: str) -> None:
+    """Mark ``name`` as the node executing the current handler."""
+    _node_stack.append(name)
+
+
+def pop_node() -> None:
+    if _node_stack:
+        _node_stack.pop()
+
+
+def current_node() -> Optional[str]:
+    """Name of the node on CPU, or None between events."""
+    return _node_stack[-1] if _node_stack else None

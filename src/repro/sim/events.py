@@ -1,0 +1,63 @@
+"""Event objects for the discrete-event simulation kernel.
+
+An :class:`Event` is a callback scheduled at a simulated time.  Events are
+totally ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker, which makes every simulation run deterministic for
+a fixed seed and schedule order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+_SEQ = itertools.count()
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulated time at which the callback fires.
+        seq: global tie-breaker; earlier-scheduled events fire first.
+        callback: zero-argument callable (arguments are bound at schedule
+            time) run when the event fires.
+        owner: opaque label (usually a node name) used for diagnostics and
+            for cancelling all events of a crashed owner.
+        kind: free-form category (``"timer"``, ``"message"``, ``"call"``)
+            used by traces and tests.
+    """
+
+    __slots__ = ("time", "seq", "callback", "owner", "kind", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        owner: Optional[str] = None,
+        kind: str = "call",
+    ):
+        self.time = float(time)
+        self.seq = next(_SEQ)
+        self.callback = callback
+        self.owner = owner
+        self.kind = kind
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} kind={self.kind} owner={self.owner} {state}>"

@@ -1,0 +1,215 @@
+"""The discrete-event simulation loop.
+
+:class:`SimLoop` is the single source of time for a simulated cluster.  It
+holds a priority queue of :class:`~repro.sim.events.Event` objects and runs
+each event's callback to completion, in ``(time, seq)`` order, which makes
+every run deterministic.
+
+Two driving modes exist:
+
+* :meth:`SimLoop.run` — the outer driver, used by workload runners.  It
+  processes events until a deadline, an event budget, or quiescence.
+* :meth:`SimLoop.pump` — a *reentrant* driver used by the fault-injection
+  trigger at pre-read crash points.  The paper's instrumentation blocks the
+  reading thread for a wait period while the shutdown of the target node is
+  handled by other threads; in a single-threaded discrete-event world the
+  equivalent is to pump the loop for a bounded simulated duration from
+  inside the currently-running handler, then resume it.
+
+Exception policy: callbacks that raise :class:`NodeCrashedError` are
+treated as expected teardown (the handler's node was crashed mid-flight by
+injection).  Any other exception is passed to the loop's ``crash_handler``
+(installed by :class:`repro.cluster.cluster.Cluster`); if none is installed
+the exception propagates, which is the correct behaviour for unit tests of
+the kernel itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import NodeCrashedError, SimulationError
+from repro.sim.events import Event
+
+# Type of the hook invoked when a callback raises a non-crash exception.
+# Receives (event, exception); returns True if the exception was consumed.
+ExceptionHandler = Callable[[Event, BaseException], bool]
+
+
+class SimLoop:
+    """Deterministic discrete-event loop with reentrant pumping."""
+
+    #: hard cap on pump() reentrancy to catch accidental recursion
+    MAX_PUMP_DEPTH = 8
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now = 0.0
+        self._events_processed = 0
+        self._pump_depth = 0
+        self._stopped = False
+        self.exception_handler: Optional[ExceptionHandler] = None
+
+    # ------------------------------------------------------------------
+    # time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        owner: Optional[str] = None,
+        kind: str = "call",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        event = Event(self._now + delay, callback, owner=owner, kind=kind)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        owner: Optional[str] = None,
+        kind: str = "call",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        event = Event(time, callback, owner=owner, kind=kind)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel_owned_by(self, owner: str) -> int:
+        """Cancel every pending event whose owner matches.  Returns count."""
+        cancelled = 0
+        for event in self._queue:
+            if event.owner == owner and not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        return cancelled
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def stop(self) -> None:
+        """Ask the outermost :meth:`run` to return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 5_000_000,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Process events in order until quiescence, a deadline, or a predicate.
+
+        Args:
+            until: stop once simulated time would exceed this deadline; the
+                clock is advanced to ``until`` on return so that timeouts
+                relative to the deadline are observable.
+            max_events: safety budget; exceeding it raises SimulationError
+                (a runaway simulation is a harness bug, not a system bug).
+            stop_when: checked after every event; return True to stop.
+        """
+        self._stopped = False
+        processed = 0
+        stopped_by_predicate = False
+        while self._queue and not self._stopped:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            self._fire(event)
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(f"event budget exceeded ({max_events})")
+            if stop_when is not None and stop_when():
+                stopped_by_predicate = True
+                break
+        # On deadline or quiescence the clock advances to the deadline (so
+        # timeout-relative behaviour is observable); an early predicate stop
+        # must leave the clock at the stopping event.
+        if (
+            until is not None
+            and self._now < until
+            and not stopped_by_predicate
+            and not self._stopped
+        ):
+            self._now = until
+
+    def pump(self, duration: float, max_events: int = 200_000) -> None:
+        """Reentrantly process events for ``duration`` simulated seconds.
+
+        Used by the injection trigger to model a blocking wait inside a
+        handler: events scheduled by other "threads" (the shutdown
+        handshake of the target node) are delivered while the current
+        handler is paused, then control returns to it.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative pump duration {duration!r}")
+        if self._pump_depth >= self.MAX_PUMP_DEPTH:
+            raise SimulationError("pump() reentrancy too deep")
+        self._pump_depth += 1
+        try:
+            deadline = self._now + duration
+            processed = 0
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if event.time > deadline:
+                    break
+                heapq.heappop(self._queue)
+                self._fire(event)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(f"pump event budget exceeded ({max_events})")
+            if self._now < deadline:
+                self._now = deadline
+        finally:
+            self._pump_depth -= 1
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _fire(self, event: Event) -> None:
+        if event.time < self._now:
+            raise SimulationError(
+                f"time went backwards: event at {event.time} < now {self._now}"
+            )
+        self._now = event.time
+        self._events_processed += 1
+        try:
+            event.callback()
+        except NodeCrashedError:
+            # Expected: the running handler's node was crashed by injection.
+            pass
+        except Exception as exc:  # noqa: BLE001 - policy decision is delegated
+            handled = False
+            if self.exception_handler is not None:
+                handled = self.exception_handler(event, exc)
+            if not handled:
+                raise

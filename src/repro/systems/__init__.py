@@ -1,0 +1,45 @@
+"""The systems under test (Table 4) plus the Kubernetes study subject.
+
+Each subpackage is a miniature of the corresponding real system, built on
+the cluster substrate, with the crash-recovery bugs of Tables 1 and 5
+seeded at the sites the original JIRA issues describe.
+"""
+
+from repro.systems.base import RunReport, SystemUnderTest, Workload, run_workload
+
+
+def all_systems():
+    """The five systems of Table 4, in paper order (built lazily)."""
+    from repro.systems.cassandra.system import CassandraSystem
+    from repro.systems.hbase.system import HBaseSystem
+    from repro.systems.hdfs.system import HdfsSystem
+    from repro.systems.yarn.system import YarnSystem
+    from repro.systems.zookeeper.system import ZooKeeperSystem
+
+    return [
+        YarnSystem(),
+        HdfsSystem(),
+        HBaseSystem(),
+        ZooKeeperSystem(),
+        CassandraSystem(),
+    ]
+
+
+def get_system(name: str) -> SystemUnderTest:
+    """Look one system up by its short name ("yarn", "hdfs", ...)."""
+    from repro.systems.kube.system import KubeSystem
+
+    for system in all_systems() + [KubeSystem()]:
+        if system.name == name:
+            return system
+    raise KeyError(f"unknown system {name!r}")
+
+
+__all__ = [
+    "RunReport",
+    "SystemUnderTest",
+    "Workload",
+    "all_systems",
+    "get_system",
+    "run_workload",
+]

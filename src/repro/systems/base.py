@@ -1,0 +1,172 @@
+"""System-under-test interface and the single-run harness.
+
+Every simulated system (YARN, HDFS, HBase, ZooKeeper, Cassandra, and the
+mini-Kubernetes of Section 4.4) implements :class:`SystemUnderTest`, which
+gives CrashTuner everything Table 4 lists: how to deploy a cluster, the
+default workload, and — because our "static analysis" runs over Python
+source — which modules constitute the system's code.
+
+:func:`run_workload` is the shared one-run driver used by profiling, fault
+injection, the baselines, and plain testing: build cluster, install
+workload, run to completion or deadline, return a :class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _wallclock
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster import Cluster
+from repro.mtlog import LogCollector
+
+
+class Workload(abc.ABC):
+    """A driver that exercises a running cluster and knows when it is done."""
+
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def install(self, cluster: Cluster) -> None:
+        """Create client node(s) and schedule the job submissions."""
+
+    @abc.abstractmethod
+    def finished(self, cluster: Cluster) -> bool:
+        """True once the workload reached a terminal state (pass or fail)."""
+
+    @abc.abstractmethod
+    def succeeded(self, cluster: Cluster) -> bool:
+        """True if the terminal state is success."""
+
+    def failures(self, cluster: Cluster) -> List[str]:
+        """Human-readable failure descriptions (empty on success)."""
+        return []
+
+
+class SystemUnderTest(abc.ABC):
+    """One of the distributed systems CrashTuner tests (Table 4)."""
+
+    #: short name, e.g. "yarn"
+    name: str = "system"
+    #: display version, mirroring Table 4's "Latest Version" column
+    version: str = "0.0.0-SNAPSHOT"
+    #: display workload name, mirroring Table 4's "Workload" column
+    workload_name: str = "workload"
+
+    @abc.abstractmethod
+    def build(self, seed: int = 0, config: Optional[Dict[str, Any]] = None) -> Cluster:
+        """Deploy a fresh cluster (nodes created, not yet started)."""
+
+    @abc.abstractmethod
+    def create_workload(self, scale: int = 1) -> Workload:
+        """The system's default workload at a given size multiplier."""
+
+    @abc.abstractmethod
+    def source_modules(self) -> List[ModuleType]:
+        """The modules that make up this system's code, for static analysis."""
+
+    @abc.abstractmethod
+    def base_runtime(self) -> float:
+        """Expected clean-run duration in simulated seconds (workload scale 1).
+
+        The injection campaign derives its hang deadline from this, using
+        the paper's default threshold of 4x one run (Section 4.1.3).
+        """
+
+
+@dataclass
+class RunReport:
+    """Everything observable from one cluster run, for oracles and tables."""
+
+    system: str
+    seed: int
+    completed: bool
+    succeeded: bool
+    duration: float  # simulated seconds until terminal state (or deadline)
+    deadline: float
+    wall_seconds: float
+    failures: List[str] = field(default_factory=list)
+    aborts: List[str] = field(default_factory=list)  # "node:ExcType: msg"
+    critical_aborts: List[str] = field(default_factory=list)
+    crashed_nodes: List[str] = field(default_factory=list)
+    shutdown_nodes: List[str] = field(default_factory=list)
+    log: Optional[LogCollector] = None
+    cluster: Optional[Cluster] = None
+
+    @property
+    def hang(self) -> bool:
+        """The workload never reached a terminal state before the deadline."""
+        return not self.completed
+
+    @property
+    def job_failure(self) -> bool:
+        return self.completed and not self.succeeded
+
+
+def run_workload(
+    system: SystemUnderTest,
+    seed: int = 0,
+    config: Optional[Dict[str, Any]] = None,
+    scale: int = 1,
+    deadline: Optional[float] = None,
+    deadline_factor: float = 4.0,
+    before_run: Optional[Callable[[Cluster, Workload], None]] = None,
+    keep_cluster: bool = True,
+    cooldown: float = 0.0,
+) -> RunReport:
+    """Run one workload to completion or deadline and report.
+
+    Args:
+        system: the system under test.
+        seed: RNG seed; a (system, seed, config, injection) tuple is fully
+            deterministic.
+        config: cluster config; notably ``patched_bugs``.
+        scale: workload size multiplier (the profiler doubles this).
+        deadline: absolute simulated-time budget; defaults to
+            ``base_runtime * deadline_factor * scale`` (paper: 4x one run).
+        before_run: hook called after install, before driving — this is
+            where fault-injection arms itself.
+        keep_cluster: attach the cluster/logs to the report (disable for
+            bulk campaigns that only need verdicts).
+    """
+    if deadline is None:
+        deadline = system.base_runtime() * deadline_factor * max(1, scale)
+    wall_start = _wallclock.perf_counter()
+    cluster = system.build(seed=seed, config=config)
+    workload = system.create_workload(scale)
+    with cluster:
+        workload.install(cluster)
+        if before_run is not None:
+            before_run(cluster, workload)
+        cluster.start_all()
+        cluster.run(until=deadline, stop_when=lambda: workload.finished(cluster))
+        completed = workload.finished(cluster)
+        succeeded = completed and workload.succeeded(cluster)
+        finish_time = cluster.loop.now
+        if completed and cooldown > 0.0:
+            # Let delayed symptoms surface (stale timers, leak auditors):
+            # a test run observes the cluster for a grace period after the
+            # workload completes, exactly as a tester tails the logs.
+            cluster.run(until=finish_time + cooldown)
+            succeeded = workload.succeeded(cluster)
+        report = RunReport(
+            system=system.name,
+            seed=seed,
+            completed=completed,
+            succeeded=succeeded,
+            duration=finish_time if completed else deadline,
+            deadline=deadline,
+            wall_seconds=_wallclock.perf_counter() - wall_start,
+            failures=list(workload.failures(cluster)),
+            aborts=[f"{n}:{type(e).__name__}: {e}" for (_, n, e) in cluster.aborts],
+            critical_aborts=[
+                f"{n}:{type(e).__name__}: {e}" for (_, n, e) in cluster.critical_aborts()
+            ],
+            crashed_nodes=[n for (_, n) in cluster.crashes],
+            shutdown_nodes=[n for (_, n) in cluster.shutdowns],
+            log=cluster.log_collector if keep_cluster else None,
+            cluster=cluster if keep_cluster else None,
+        )
+    return report

@@ -1,0 +1,7 @@
+"""Miniature Cassandra: gossip ring, quorum writes, hinted handoff."""
+
+from repro.systems.cassandra.client import StressClient, StressWorkload
+from repro.systems.cassandra.node import CassandraNode
+from repro.systems.cassandra.system import CassandraSystem
+
+__all__ = ["CassandraNode", "CassandraSystem", "StressClient", "StressWorkload"]

@@ -1,0 +1,114 @@
+"""Cassandra stress client and workload (Table 4, row 5)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster import Cluster, Node, tracked_dict
+from repro.mtlog import get_logger
+from repro.systems.base import Workload
+
+LOG = get_logger("cassandra.client")
+
+
+class StressClient(Node):
+    """cassandra-stress style write-then-read verification."""
+
+    role = "client"
+    critical = False
+    exception_policy = "log"
+    default_port = 50500
+
+    op_status: Dict[str, str] = tracked_dict()
+
+    def __init__(self, cluster, name, hosts: List[str], num_keys: int = 8, **kwargs):
+        super().__init__(cluster, name, **kwargs)
+        self.hosts = hosts
+        self.num_keys = num_keys
+        self._conn = 0
+        self._retries: Dict[str, int] = {}
+        self._retry_limit = cluster.config.get("cassandra.client_retries", 8)
+
+    def _coordinator(self) -> str:
+        return self.hosts[self._conn % len(self.hosts)]
+
+    def on_start(self) -> None:
+        for i in range(self.num_keys):
+            key = f"key{i:04d}"
+            self.op_status.put(key, "WRITING")
+            self.set_timer(0.3 + 0.05 * i, self._write, key)
+
+    def _write(self, key: str) -> None:
+        self.send(self._coordinator(), "coordinate_write", key=key, value=f"value-{key}")
+        self.set_timer(2.0, self._check_progress, key)
+
+    def on_write_ok(self, src: str, key: str) -> None:
+        if self.op_status.get(key) != "WRITING":
+            return
+        self.op_status.put(key, "READING")
+        self.send(self._coordinator(), "coordinate_read", key=key)
+
+    def on_read_ok(self, src: str, key: str, value: Optional[str]) -> None:
+        if self.op_status.get(key) != "READING":
+            return
+        if value != f"value-{key}":
+            self._retry(key, f"stale value {value!r}")
+            return
+        self.op_status.put(key, "VERIFIED")
+
+    def on_request_error(self, src: str, key: str, reason: str) -> None:
+        self._retry(key, reason)
+
+    def on_request_timeout(self, src: str, key: str) -> None:
+        self._retry(key, "timeout")
+
+    def _check_progress(self, key: str) -> None:
+        if self.op_status.get(key) in ("WRITING", "READING"):
+            self._retry(key, "operation stalled")
+
+    def _retry(self, key: str, why: str) -> None:
+        if self.op_status.get(key) in ("VERIFIED", "FAILED"):
+            return
+        retries = self._retries.get(key, 0) + 1
+        self._retries[key] = retries
+        if retries > self._retry_limit:
+            self.op_status.put(key, "FAILED")
+            LOG.error("Stress op for {} failed permanently: {}", key, why)
+            return
+        LOG.warn("Retrying stress op for {} ({}); rotating coordinator", key, why)
+        self._conn += 1
+        self.op_status.put(key, "WRITING")
+        self._write(key)
+
+
+class StressWorkload(Workload):
+    """Stress: the Cassandra row of Table 4."""
+
+    name = "Stress"
+
+    def __init__(self, num_keys: int = 8, hosts: Optional[List[str]] = None):
+        self.num_keys = num_keys
+        self.hosts = hosts or ["node1", "node2", "node3"]
+        self._client: Optional[StressClient] = None
+
+    def install(self, cluster: Cluster) -> None:
+        self._client = StressClient(cluster, "client", hosts=self.hosts,
+                                    num_keys=self.num_keys)
+
+    def _statuses(self) -> Dict[str, str]:
+        assert self._client is not None
+        return self._client.op_status.snapshot()
+
+    def finished(self, cluster: Cluster) -> bool:
+        statuses = self._statuses()
+        if len(statuses) < self.num_keys:
+            return False
+        return all(s in ("VERIFIED", "FAILED") for s in statuses.values())
+
+    def succeeded(self, cluster: Cluster) -> bool:
+        return self.finished(cluster) and all(
+            s == "VERIFIED" for s in self._statuses().values()
+        )
+
+    def failures(self, cluster: Cluster) -> List[str]:
+        return [f"{k}: {s}" for k, s in sorted(self._statuses().items()) if s != "VERIFIED"]

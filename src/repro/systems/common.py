@@ -1,0 +1,73 @@
+"""Shared helpers for the systems under test.
+
+The central piece is :class:`StateMachine`: the YARN/HBase daemons drive
+their entities (apps, attempts, containers, regions) through explicit state
+machines, and a whole family of real crash-recovery bugs — the "Invalid
+event for current state of X" rows of Table 5 — are exactly *unhandled
+transitions* reached when a crash-triggered event arrives after the entity
+already moved on.  The real systems log those as errors; so do we.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+
+class InvalidStateTransition(Exception):
+    """An event arrived that the entity's current state does not accept."""
+
+    def __init__(self, entity: str, state: str, event: str):
+        super().__init__(f"Invalid event: {event} at {state} for {entity}")
+        self.entity = entity
+        self.state = state
+        self.event = event
+
+
+class StateMachine:
+    """A tiny labelled transition system.
+
+    Args:
+        entity: rendered identity of the owning object (appears in the
+            "Invalid event" message, as in the real YARN logs).
+        initial: starting state.
+        transitions: mapping ``(state, event) -> next_state``.
+
+    ``handle`` raises :class:`InvalidStateTransition` for unknown pairs;
+    callers decide whether that aborts the process or is logged — which is
+    exactly the policy split the real bugs hinge on.
+    """
+
+    def __init__(
+        self,
+        entity: str,
+        initial: str,
+        transitions: Mapping[Tuple[str, str], str],
+    ):
+        self.entity = entity
+        self.state = initial
+        self._transitions: Dict[Tuple[str, str], str] = dict(transitions)
+
+    def handle(self, event: str) -> str:
+        """Apply ``event``; returns the new state or raises."""
+        key = (self.state, event)
+        if key not in self._transitions:
+            raise InvalidStateTransition(self.entity, self.state, event)
+        self.state = self._transitions[key]
+        return self.state
+
+    def can_handle(self, event: str) -> bool:
+        return (self.state, event) in self._transitions
+
+    def is_in(self, states: Iterable[str]) -> bool:
+        return self.state in frozenset(states)
+
+    def __repr__(self) -> str:
+        return f"<StateMachine {self.entity} state={self.state}>"
+
+
+def transitions(*rules: Tuple[str, str, str]) -> Dict[Tuple[str, str], str]:
+    """Build a transition table from ``(state, event, next_state)`` rules."""
+    table: Dict[Tuple[str, str], str] = {}
+    for state, event, nxt in rules:
+        table[(state, event)] = nxt
+    return table

@@ -1,0 +1,8 @@
+"""Miniature HBase: HMaster, RegionServers, ZooKeeper-backed membership."""
+
+from repro.systems.hbase.client import HBaseClient, PEWorkload
+from repro.systems.hbase.master import HMaster
+from repro.systems.hbase.regionserver import RegionServer
+from repro.systems.hbase.system import HBaseSystem
+
+__all__ = ["HBaseClient", "HBaseSystem", "HMaster", "PEWorkload", "RegionServer"]

@@ -1,0 +1,198 @@
+"""The HBase RegionServer: duty report, ZK registration, region serving.
+
+The startup sequence deliberately mirrors Figure 9: (1) report_for_duty to
+the HMaster, (2) create a ZooKeeper session, (3) register the ephemeral
+``/hbase/rs/<server>`` znode.  A machine fault between (1) and (3) is the
+HBASE-22041 window — the master believes the server is online but ZK will
+never expire it.
+
+Bug sites seeded here:
+
+* HBASE-21740 (post-write MetricsRegionServer) — the shutdown path flushes
+  the WAL, which is only created later in initialization.
+* HBASE-22023 (post-write MetricsRegionServer) — same shape, against the
+  heap-memory manager (the paper groups it as a second, trivial instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster import HeartbeatSender, Node, tracked_dict, tracked_ref
+from repro.cluster.ids import RegionInfo, ServerName, ZNodePath
+from repro.cluster.ids import CLUSTER_TIMESTAMP
+from repro.cluster.io import FileOutputStream, SimDisk
+from repro.mtlog import get_logger
+
+LOG = get_logger("hbase.regionserver")
+
+
+class MetricsRegionServer:
+    """Metrics facade created early in RS initialization (HBASE-21740)."""
+
+    def __init__(self, server_name: ServerName):
+        self.server_name = server_name
+        self.flushed = 0
+
+    def __str__(self) -> str:
+        return f"MetricsRegionServer for {self.server_name}"
+
+
+class WAL:
+    """Write-ahead log handle, created late in RS initialization."""
+
+    def __init__(self, server_name: ServerName, disk: SimDisk):
+        self.server_name = server_name
+        self.stream = FileOutputStream(disk, f"/hbase/wal/{server_name}")
+        self.closed = False
+
+    def append(self, entry) -> None:
+        self.stream.write(entry)
+        self.stream.flush()
+
+    def close(self) -> None:
+        self.stream.close()
+        self.closed = True
+
+    def __str__(self) -> str:
+        return f"WAL for {self.server_name}"
+
+
+class HeapMemoryManager:
+    """Heap tuner, created last in RS initialization (HBASE-22023)."""
+
+    def __init__(self, server_name: ServerName):
+        self.server_name = server_name
+
+    def stop(self) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return f"HeapMemoryManager for {self.server_name}"
+
+
+class RegionServer(Node):
+    """HBase RegionServer (worker daemon)."""
+
+    role = "regionserver"
+    critical = False
+    exception_policy = "abort"  # a real RS aborts on unhandled errors
+    default_port = 16020
+
+    regions: Dict[RegionInfo, str] = tracked_dict()  # region -> OPEN/CLOSING
+    store: Dict[str, str] = tracked_dict()  # row key -> value
+    metrics: Optional[MetricsRegionServer] = tracked_ref()
+    wal: Optional[WAL] = tracked_ref()
+    heap_manager: Optional[HeapMemoryManager] = tracked_ref()
+
+    def __init__(self, cluster, name, master: str = "hmaster", zk: str = "zk1", **kwargs):
+        super().__init__(cluster, name, **kwargs)
+        self.master = master
+        self.zk = zk
+        self.server_name = ServerName(self.host, self.port, CLUSTER_TIMESTAMP)
+        self.disk = SimDisk()
+        self.session_id: Optional[int] = None
+        self.metrics = None
+        self.wal = None
+        self.heap_manager = None
+        self.heartbeat = HeartbeatSender(
+            self, zk, "session_ping", cluster.config.get("hbase.rs_session_ping", 0.5),
+            payload=lambda: {"session_id": self.session_id},
+        )
+
+    # ------------------------------------------------------------------
+    # the Figure 9 startup sequence
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        LOG.info("RegionServer {} reporting for duty to {}", self.server_name, self.master)
+        self.send(self.master, "report_for_duty", server_name=self.server_name)
+
+    def on_duty_ack(self, src: str, server_name: ServerName) -> None:
+        # Initialization continues: metrics first (the HBASE-21740/22023
+        # post-write window opens here), then the ZK session.
+        self.metrics = MetricsRegionServer(self.server_name)
+        self.send(self.zk, "create_session")
+
+    def on_session_created(self, src: str, session_id: int, server: str) -> None:
+        self.session_id = session_id
+        self.heartbeat.start()
+        znode = ZNodePath("/hbase/rs").child(str(self.server_name))
+        self.send(self.zk, "zk_create", path=str(znode), data=str(self.server_name),
+                  session_id=session_id, ephemeral=True)
+        LOG.info("RegionServer {} registered in ZooKeeper as {}", self.server_name, znode)
+        # Late initialization: WAL, then the heap manager.
+        self.set_timer(0.05, self._init_wal)
+
+    def _init_wal(self) -> None:
+        self.wal = WAL(self.server_name, self.disk)
+        self.set_timer(0.05, self._init_heap_manager)
+
+    def _init_heap_manager(self) -> None:
+        self.heap_manager = HeapMemoryManager(self.server_name)
+        LOG.info("RegionServer {} finished initialization", self.server_name)
+
+    def on_shutdown(self) -> None:
+        if self.session_id is not None:
+            self.send(self.zk, "close_session", session_id=self.session_id)
+        metrics = self.metrics
+        if metrics is None:
+            return  # never got past report_for_duty
+        # BUG:HBASE-21740 — flushing the WAL during shutdown assumes the
+        # WAL exists; shutting down mid-initialization aborts instead.
+        wal = self.wal
+        if self.cluster.is_patched("HBASE-21740") and wal is None:
+            LOG.info("Skipping WAL flush: shutdown before WAL init on {}", self.server_name)
+        else:
+            wal.close()  # AttributeError when shut down mid-init
+        # BUG:HBASE-22023 — same shape against the heap manager.
+        manager = self.heap_manager
+        if self.cluster.is_patched("HBASE-22023") and manager is None:
+            LOG.info("Skipping heap manager stop on {}", self.server_name)
+        else:
+            manager.stop()  # AttributeError when shut down mid-init
+        metrics.flushed += 1
+
+    # ------------------------------------------------------------------
+    # region lifecycle
+    # ------------------------------------------------------------------
+    def on_zk_created(self, src: str, path: str) -> None:
+        LOG.info("Confirmed znode {}", path)
+
+    def on_graceful_stop(self, src: str) -> None:
+        """The operator's graceful_stop.sh — rolling maintenance."""
+        LOG.info("Graceful stop requested for {}", self.server_name)
+        self.begin_shutdown()
+
+    def on_open_region(self, src: str, region: RegionInfo) -> None:
+        LOG.info("Opening region {} on {}", region, self.server_name)
+        self.set_timer(0.05, self._region_opened, region)
+
+    def _region_opened(self, region: RegionInfo) -> None:
+        self.regions.put(region, "OPEN")
+        LOG.info("Region {} open on {}", region, self.server_name)
+        self.send(self.master, "region_opened", region=region, server_name=self.server_name)
+
+    def on_close_region(self, src: str, region: RegionInfo) -> None:
+        if self.regions.contains(region):
+            self.regions.remove(region)
+        LOG.info("Closed region {} on {}", region, self.server_name)
+        self.send(self.master, "region_closed", region=region, server_name=self.server_name)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def on_put(self, src: str, region: RegionInfo, row: str, value: str) -> None:
+        if self.regions.get(region) != "OPEN":
+            self.send(src, "op_error", row=row, reason="NotServingRegionException")
+            return
+        wal = self.wal
+        if wal is not None:
+            wal.append((str(region), row, value))
+        self.store.put(row, value)
+        self.send(src, "put_ok", row=row)
+
+    def on_get(self, src: str, region: RegionInfo, row: str) -> None:
+        if self.regions.get(region) != "OPEN":
+            self.send(src, "op_error", row=row, reason="NotServingRegionException")
+            return
+        self.send(src, "get_ok", row=row, value=self.store.get(row))

@@ -1,0 +1,48 @@
+"""The HBase system-under-test definition (Table 4, row 3).
+
+An HBase deployment embeds a ZooKeeper node, exactly as the paper's test
+cluster did — several studied HBase bugs live in that lower layer
+(Section 4.1.1's HBASE-7111/5722/5635 discussion).
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import Cluster
+from repro.systems.base import SystemUnderTest, Workload
+from repro.systems.hbase.client import PEWorkload
+from repro.systems.hbase.master import HMaster
+from repro.systems.hbase.regionserver import RegionServer
+from repro.systems.zookeeper.server import ZKServer
+
+
+class HBaseSystem(SystemUnderTest):
+    """Distributed key-value store HBase."""
+
+    name = "hbase"
+    version = "3.0.0-SNAPSHOT"
+    workload_name = "PE+curl"
+
+    def __init__(self, num_regionservers: int = 3):
+        self.num_regionservers = num_regionservers
+
+    def build(self, seed: int = 0, config: Optional[Dict[str, Any]] = None) -> Cluster:
+        cluster = Cluster("hbase", seed=seed, config=config)
+        ZKServer(cluster, "zk1", sid=1, peers=["zk1"])
+        HMaster(cluster, "hmaster")
+        for i in range(1, self.num_regionservers + 1):
+            RegionServer(cluster, f"node{i}")
+        return cluster
+
+    def create_workload(self, scale: int = 1) -> Workload:
+        return PEWorkload(num_rows=8 * scale)
+
+    def source_modules(self) -> List[ModuleType]:
+        from repro.systems.hbase import client, master, regionserver
+
+        return [master, regionserver, client]
+
+    def base_runtime(self) -> float:
+        return 6.0

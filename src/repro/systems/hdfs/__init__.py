@@ -1,0 +1,8 @@
+"""Miniature HDFS: NameNode, DataNodes, pipelines, replication monitor."""
+
+from repro.systems.hdfs.client import DFSClient, TestDFSIOWorkload
+from repro.systems.hdfs.datanode import DataNode
+from repro.systems.hdfs.namenode import NameNode
+from repro.systems.hdfs.system import HdfsSystem
+
+__all__ = ["DFSClient", "DataNode", "HdfsSystem", "NameNode", "TestDFSIOWorkload"]

@@ -1,0 +1,173 @@
+"""HDFS client node and the TestDFSIO(+curl) workload of Table 4."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import Cluster, Node, tracked_dict
+from repro.cluster.ids import BlockId, NodeId
+from repro.mtlog import get_logger
+from repro.systems.base import Workload
+
+LOG = get_logger("hdfs.client")
+
+
+class DFSClient(Node):
+    """Writes files through pipelines, reads them back, polls the NN UI."""
+
+    role = "client"
+    critical = False
+    exception_policy = "log"
+    default_port = 50200
+
+    file_status: Dict[str, str] = tracked_dict()  # path -> WRITING/READ_OK/...
+
+    def __init__(self, cluster, name, nn: str = "nn", num_files: int = 2,
+                 blocks_per_file: int = 2, **kwargs):
+        super().__init__(cluster, name, **kwargs)
+        self.nn = nn
+        self.num_files = num_files
+        self.blocks_per_file = blocks_per_file
+        self.write_retry_limit = cluster.config.get("hdfs.write_retries", 3)
+        self.read_retry_limit = cluster.config.get("hdfs.read_retries", 3)
+        self._pending_reads: Dict[str, set] = {}
+        self._retries: Dict[str, int] = {}
+        self._block_locations: Dict[str, List[Tuple[BlockId, List[NodeId]]]] = {}
+        self.web_responses = 0
+
+    def on_start(self) -> None:
+        for i in range(self.num_files):
+            path = f"/bench/TestDFSIO/part-{i:04d}"
+            self.file_status.put(path, "CREATING")
+            self.set_timer(0.3 + 0.05 * i, self._create, path)
+        self.set_timer(1.0, self._curl, periodic=1.0)
+
+    def _curl(self) -> None:
+        self.send(self.nn, "web_request")
+
+    def on_web_response(self, src: str, files: int, live_datanodes: int) -> None:
+        self.web_responses += 1
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _create(self, path: str) -> None:
+        LOG.info("Creating file {}", path)
+        self.send(self.nn, "create_file", path=path, num_blocks=self.blocks_per_file)
+        self.set_timer(3.0, self._check_write_progress, path)
+
+    def on_file_created(self, src: str, path: str,
+                        block_plans: List[Tuple[BlockId, List[NodeId]]]) -> None:
+        self.file_status.put(path, "WRITING")
+        for block_id, targets in block_plans:
+            if not targets:
+                continue
+            first, rest = targets[0], targets[1:]
+            self.send(first.host, "write_block", block_id=block_id,
+                      data=f"data-{block_id}", pipeline=rest, client=self.name)
+
+    def on_create_failed(self, src: str, path: str, reason: str) -> None:
+        LOG.error("Create of {} failed: {}", path, reason)
+        self._retry_write(path)
+
+    def _check_write_progress(self, path: str) -> None:
+        if self.file_status.get(path) in ("CREATING", "WRITING"):
+            LOG.warn("Write of {} stalled; retrying", path)
+            self._retry_write(path)
+
+    def _retry_write(self, path: str) -> None:
+        retries = self._retries.get(path, 0) + 1
+        self._retries[path] = retries
+        if retries > self.write_retry_limit:
+            self.file_status.put(path, "WRITE_FAILED")
+            LOG.error("Giving up writing {}", path)
+            return
+        self._create(path)
+
+    def on_file_complete(self, src: str, path: str) -> None:
+        if self.file_status.get(path) in ("CREATING", "WRITING"):
+            self.file_status.put(path, "WRITTEN")
+            LOG.info("File {} written; reading it back", path)
+            self._read(path)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _read(self, path: str) -> None:
+        self.send(self.nn, "get_block_locations", path=path)
+        self.set_timer(3.0, self._check_read_progress, path)
+
+    def _check_read_progress(self, path: str) -> None:
+        if self.file_status.get(path) == "WRITTEN":
+            self._retry_read(path, "read stalled")
+
+    def _retry_read(self, path: str, why: str) -> None:
+        retries = self._retries.get(path, 0) + 1
+        self._retries[path] = retries
+        if retries > self.read_retry_limit:
+            self.file_status.put(path, "READ_FAILED")
+            LOG.error("Giving up reading {}: {}", path, why)
+            return
+        LOG.warn("Retrying read of {}: {}", path, why)
+        self._read(path)
+
+    def on_block_locations(self, src: str, path: str,
+                           located: List[Tuple[BlockId, List[NodeId]]]) -> None:
+        if self.file_status.get(path) != "WRITTEN":
+            return
+        if any(not locs for _, locs in located):
+            self._retry_read(path, "a block has no live replica")
+            return
+        self._block_locations[path] = located
+        self._pending_reads[path] = {block_id for block_id, _ in located}
+        for block_id, locs in located:
+            self.send(locs[0].host, "read_block", block_id=block_id, path=path)
+
+    def on_locations_error(self, src: str, path: str, reason: str) -> None:
+        if self.file_status.get(path) == "WRITTEN":
+            self._retry_read(path, f"getBlockLocations failed: {reason}")
+
+    def on_block_data(self, src: str, block_id: BlockId, path: str, data: str) -> None:
+        pending = self._pending_reads.get(path)
+        if pending is None:
+            return
+        pending.discard(block_id)
+        if not pending:
+            self.file_status.put(path, "READ_OK")
+            LOG.info("Verified file {}", path)
+
+    def on_block_error(self, src: str, block_id: BlockId, path: str, reason: str) -> None:
+        if self.file_status.get(path) == "WRITTEN":
+            self._retry_read(path, f"block {block_id}: {reason}")
+
+
+class TestDFSIOWorkload(Workload):
+    """TestDFSIO + curl: the HDFS row of Table 4."""
+
+    name = "TestDFSIO+curl"
+
+    def __init__(self, num_files: int = 2, blocks_per_file: int = 2):
+        self.num_files = num_files
+        self.blocks_per_file = blocks_per_file
+        self._client: Optional[DFSClient] = None
+
+    def install(self, cluster: Cluster) -> None:
+        self._client = DFSClient(cluster, "client", num_files=self.num_files,
+                                 blocks_per_file=self.blocks_per_file)
+
+    def _statuses(self) -> Dict[str, str]:
+        assert self._client is not None
+        return self._client.file_status.snapshot()
+
+    def finished(self, cluster: Cluster) -> bool:
+        statuses = self._statuses()
+        if len(statuses) < self.num_files:
+            return False
+        return all(s in ("READ_OK", "READ_FAILED", "WRITE_FAILED") for s in statuses.values())
+
+    def succeeded(self, cluster: Cluster) -> bool:
+        statuses = self._statuses()
+        return self.finished(cluster) and all(s == "READ_OK" for s in statuses.values())
+
+    def failures(self, cluster: Cluster) -> List[str]:
+        return [f"{p}: {s}" for p, s in sorted(self._statuses().items()) if s != "READ_OK"]

@@ -1,0 +1,220 @@
+"""The NameNode: namespace, blocks map, datanode manager, replication.
+
+Bug sites seeded here:
+
+* HDFS-14216 (x2, pre-read DatanodeInfo) — both the read path
+  (``get_block_locations``) and the write path (pipeline construction)
+  dereference datanodes that a concurrent removal deleted; client requests
+  fail.
+* HDFS-6231 (studied, pre-read DatanodeInfo) — the replication monitor
+  picks a replication source from a block's locations and dereferences it
+  after the node was removed; the NameNode aborts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import LivenessMonitor, Node, tracked_dict
+from repro.cluster.ids import BlockId, BlockPoolId, NodeId
+from repro.cluster.io import FileOutputStream, SimDisk
+from repro.mtlog import get_logger
+from repro.systems.hdfs.records import BlockInfo, DatanodeDescriptor, INodeFile
+
+LOG = get_logger("hdfs.namenode")
+
+
+class NameNode(Node):
+    """HDFS NameNode (master daemon)."""
+
+    role = "namenode"
+    critical = True
+    exception_policy = "abort"
+    default_port = 8020
+
+    datanodes: Dict[NodeId, DatanodeDescriptor] = tracked_dict()
+    blocks: Dict[BlockId, BlockInfo] = tracked_dict()
+    files: Dict[str, INodeFile] = tracked_dict()
+
+    def __init__(self, cluster, name, **kwargs):
+        super().__init__(cluster, name, **kwargs)
+        cfg = cluster.config
+        self.replication: int = cfg.get("hdfs.replication", 2)
+        self.dn_expiry: float = cfg.get("hdfs.dn_expiry", 2.0)
+        self._block_seq = 1073741824
+        self.bp_id = BlockPoolId(1, self.host)
+        self._disk = SimDisk()
+        self._edit_log = FileOutputStream(self._disk, "/nn/edits")
+        self.dn_monitor = LivenessMonitor(
+            self, self.dn_expiry, 0.5, self._on_dn_expired, name="HeartbeatManager"
+        )
+
+    def on_start(self) -> None:
+        LOG.info("NameNode started at {} serving block pool {}", self.node_id, self.bp_id)
+        self.dn_monitor.start()
+        self.set_timer(0.5, self._replication_monitor, periodic=0.5)
+
+    # ------------------------------------------------------------------
+    # datanode membership
+    # ------------------------------------------------------------------
+    def on_handshake(self, src: str, node_id: NodeId) -> None:
+        self.send(src, "handshake_reply", bp_id=self.bp_id)
+
+    def on_register_datanode(self, src: str, node_id: NodeId, storage_id: str) -> None:
+        descriptor = DatanodeDescriptor(node_id, storage_id)
+        self.datanodes.put(node_id, descriptor)
+        self.dn_monitor.register(node_id)
+        LOG.info("Registered datanode {} with storage {}", node_id, storage_id)
+        self.send(src, "register_ack", node_id=node_id)
+
+    def on_dn_heartbeat(self, src: str, node_id: NodeId) -> None:
+        self.dn_monitor.ping(node_id)
+
+    def on_unregister_datanode(self, src: str, node_id: NodeId) -> None:
+        LOG.info("Datanode {} unregistered gracefully", node_id)
+        self._remove_datanode(node_id, "decommissioned")
+
+    def _on_dn_expired(self, node_id: NodeId) -> None:
+        LOG.warn("Datanode {} heartbeat expired; removing", node_id)
+        self._remove_datanode(node_id, "dead")
+
+    def _remove_datanode(self, node_id: NodeId, reason: str) -> None:
+        if not self.datanodes.contains(node_id):
+            return
+        descriptor = self.datanodes.get(node_id)
+        self.datanodes.remove(node_id)
+        self.dn_monitor.unregister(node_id)
+        LOG.info("Removed datanode {} ({})", node_id, reason)
+        for block_id in list(descriptor.block_ids):
+            block = self.blocks.get(block_id)
+            if block is not None and node_id in block.locations:
+                block.locations.remove(node_id)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def on_create_file(self, src: str, path: str, num_blocks: int) -> None:
+        inode = INodeFile(path, src)
+        self.files.put(path, inode)
+        self._edit_log.write(("OP_ADD", path))
+        block_plans: List[Tuple[BlockId, List[NodeId]]] = []
+        for _ in range(num_blocks):
+            self._block_seq += 1
+            block_id = BlockId(self._block_seq)
+            block = BlockInfo(block_id, path, self.replication)
+            self.blocks.put(block_id, block)
+            inode.block_ids.append(block_id)
+            targets = self._choose_targets()
+            if len(targets) < self.replication:
+                LOG.error("Not enough datanodes for {}: wanted {}", path, self.replication)
+                self.send(src, "create_failed", path=path,
+                          reason="not enough live datanodes")
+                return
+            names = " ".join(str(t) for t in targets)
+            LOG.info("Allocated {} for {} targets {}", block_id, path, names)
+            block_plans.append((block_id, targets))
+        self._edit_log.flush()
+        self.send(src, "file_created", path=path, block_plans=block_plans)
+
+    def _choose_targets(self) -> List[NodeId]:
+        chosen: List[NodeId] = []
+        for descriptor in sorted(self.datanodes.values(), key=lambda d: len(d.block_ids)):
+            # BUG:HDFS-14216 (site 1 of 2) — pipeline construction re-reads
+            # each candidate; a concurrently removed node dereferences None.
+            entry = self.datanodes.get(descriptor.node_id)
+            if self.cluster.is_patched("HDFS-14216") and entry is None:
+                continue
+            chosen.append(entry.node_id)  # AttributeError when entry is None
+            if len(chosen) >= self.replication:
+                break
+        return chosen
+
+    def on_block_received(self, src: str, node_id: NodeId, block_id: BlockId) -> None:
+        block = self.blocks.get(block_id)
+        descriptor = self.datanodes.get(node_id)
+        if block is None:
+            return
+        if node_id not in block.locations:
+            block.locations.append(node_id)
+        if descriptor is not None and block_id not in descriptor.block_ids:
+            descriptor.block_ids.append(block_id)
+        LOG.info("Block {} now at {} replicas", block_id, len(block.locations))
+        self._maybe_complete_file(block.path)
+
+    def _maybe_complete_file(self, path: str) -> None:
+        inode = self.files.get(path)
+        if inode is None or inode.complete:
+            return
+        for block_id in inode.block_ids:
+            block = self.blocks.get(block_id)
+            if block is None or block.under_replicated():
+                return
+        inode.complete = True
+        self._edit_log.write(("OP_CLOSE", path))
+        self._edit_log.flush()
+        LOG.info("File {} is complete", path)
+        self.send(inode.client, "file_complete", path=path)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def on_get_block_locations(self, src: str, path: str) -> None:
+        try:
+            inode = self.files.get(path)
+            if inode is None:
+                self.send(src, "locations_error", path=path, reason="file not found")
+                return
+            located: List[Tuple[BlockId, List[NodeId]]] = []
+            for block_id in inode.block_ids:
+                block = self.blocks.get(block_id)
+                if block is None:
+                    continue
+                infos: List[NodeId] = []
+                for loc in list(block.locations):
+                    # BUG:HDFS-14216 (site 2 of 2) — builds DatanodeInfos
+                    # for each replica; a removed node dereferences None.
+                    descriptor = self.datanodes.get(loc)
+                    if self.cluster.is_patched("HDFS-14216") and descriptor is None:
+                        continue
+                    infos.append(descriptor.node_id)  # AttributeError on None
+                located.append((block_id, infos))
+            self.send(src, "block_locations", path=path, located=located)
+        except Exception as exc:  # noqa: BLE001 - the IPC server catches per-call
+            LOG.error("IPC handler caught exception serving {}", path, exc=exc)
+            self.send(src, "locations_error", path=path, reason=str(exc))
+
+    # ------------------------------------------------------------------
+    # replication monitor
+    # ------------------------------------------------------------------
+    def _replication_monitor(self) -> None:
+        for block in self.blocks.values():
+            if not block.under_replicated() or not block.locations:
+                continue
+            source = block.locations[0]
+            # BUG:HDFS-6231 (studied) — the source may have been removed
+            # between scanning locations and dereferencing the descriptor.
+            descriptor = self.datanodes.get(source)
+            if self.cluster.is_patched("HDFS-6231") and descriptor is None:
+                continue
+            source_id = descriptor.node_id  # AttributeError when removed
+            target = self._pick_replication_target(block)
+            if target is None:
+                continue
+            LOG.info("Replicating {} from {} to {}", block.block_id, source_id, target)
+            self.send(source_id.host, "replicate_block",
+                      block_id=block.block_id, target=target)
+
+    def _pick_replication_target(self, block: BlockInfo) -> Optional[NodeId]:
+        for descriptor in sorted(self.datanodes.values(), key=lambda d: len(d.block_ids)):
+            if descriptor.node_id not in block.locations:
+                return descriptor.node_id
+        return None
+
+    # ------------------------------------------------------------------
+    # web UI
+    # ------------------------------------------------------------------
+    def on_web_request(self, src: str) -> None:
+        live = len(self.datanodes.values())
+        file_count = len(self.files.values())
+        LOG.info("Web request: {} files, {} live datanodes", file_count, live)
+        self.send(src, "web_response", files=file_count, live_datanodes=live)

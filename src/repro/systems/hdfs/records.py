@@ -1,0 +1,76 @@
+"""HDFS entity records: datanode descriptors, blocks, files, BPOfferService."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.ids import BlockId, BlockPoolId, DatanodeInfo, NodeId
+from repro.cluster.state import tracked_ref
+
+
+class DatanodeDescriptor:
+    """The NameNode's view of one registered datanode."""
+
+    node_id: NodeId = tracked_ref()
+
+    def __init__(self, node_id: NodeId, storage_id: str):
+        self.node_id = node_id
+        self.storage_id = storage_id
+        self.block_ids: List[BlockId] = []
+
+    @property
+    def info(self) -> DatanodeInfo:
+        return DatanodeInfo(self.node_id, self.storage_id)
+
+    def __str__(self) -> str:
+        return str(self.info)
+
+
+class BlockInfo:
+    """One block in the blocks map: id + current replica locations."""
+
+    block_id: BlockId = tracked_ref()
+
+    def __init__(self, block_id: BlockId, path: str, replication: int):
+        self.block_id = block_id
+        self.path = path
+        self.replication = replication
+        self.locations: List[NodeId] = []
+
+    def __str__(self) -> str:
+        return str(self.block_id)
+
+    def under_replicated(self) -> bool:
+        return len(self.locations) < self.replication
+
+
+class INodeFile:
+    """A file in the namespace: ordered blocks + completion state."""
+
+    def __init__(self, path: str, client: str):
+        self.path = path
+        self.client = client
+        self.block_ids: List[BlockId] = []
+        self.complete = False
+
+    def __str__(self) -> str:
+        return self.path
+
+
+class BPOfferService:
+    """The datanode-side handle for its block pool / namenode session.
+
+    HDFS-14372's meta-info type: its rendered form names the datanode it
+    lives on, which is how the online analysis finds the crash target.
+    """
+
+    bp_id: Optional[BlockPoolId] = tracked_ref()
+
+    def __init__(self, bp_id: BlockPoolId, dn_node_id: NodeId):
+        self.bp_id = bp_id
+        self.dn_node_id = dn_node_id
+        self.registered = False
+        self.registration_info: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"Block pool {self.bp_id} (Datanode Uuid unassigned) service to {self.dn_node_id}"

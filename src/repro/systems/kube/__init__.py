@@ -1,0 +1,11 @@
+"""Mini Kubernetes (Section 4.4 study subject)."""
+
+from repro.systems.kube.system import (
+    ControlPlane,
+    DeployWorkload,
+    Kubectl,
+    Kubelet,
+    KubeSystem,
+)
+
+__all__ = ["ControlPlane", "DeployWorkload", "Kubectl", "Kubelet", "KubeSystem"]

@@ -1,0 +1,16 @@
+"""Miniature Hadoop2/Yarn + MapReduce: RM, NMs, per-job AMs, WordCount."""
+
+from repro.systems.yarn.appmaster import MRAppMaster
+from repro.systems.yarn.client import WordCountWorkload, YarnClient
+from repro.systems.yarn.nodemanager import NodeManager
+from repro.systems.yarn.resourcemanager import ResourceManager
+from repro.systems.yarn.system import YarnSystem
+
+__all__ = [
+    "MRAppMaster",
+    "NodeManager",
+    "ResourceManager",
+    "WordCountWorkload",
+    "YarnClient",
+    "YarnSystem",
+]

@@ -1,0 +1,365 @@
+"""The MRAppMaster: per-job orchestration (the AM of Figures 3 and 8).
+
+Runs as its own process on the NodeManager machine that hosts its master
+container, so a machine fault kills NM and AM together.
+
+Bug sites seeded here:
+
+* MR-3858 — the commit-permission record written on ``commit_pending`` is
+  never cleared when the attempt's node crashes; the re-run attempt fails
+  the commit check forever and the job never finishes (Figure 3).
+* MR-7178 — the launch-timeout timer is not cancelled when a container is
+  reported lost during task initialization; the late timer dereferences a
+  removed entry and aborts the AM.
+* Timeout issue TO-1 (Section 4.1.3) — a map's ``success_attempt`` is
+  recorded, the node dies, and nothing proactively re-runs the map; the
+  reduce retries fetching for ~10 minutes before the map is re-executed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import Node, tracked_dict
+from repro.cluster.io import FileOutputStream, SimDisk
+from repro.cluster.ids import (
+    ApplicationAttemptId,
+    ApplicationId,
+    ContainerId,
+    JobId,
+    NodeId,
+    TaskAttemptId,
+    TaskId,
+)
+from repro.mtlog import get_logger
+from repro.systems.yarn.records import MRTask
+
+LOG = get_logger("yarn.appmaster")
+
+
+class MRAppMaster(Node):
+    """The MapReduce ApplicationMaster process."""
+
+    role = "appmaster"
+    critical = False
+    exception_policy = "abort"  # a real AM dies on unhandled errors
+    default_port = 43000
+
+    tasks: Dict[TaskId, MRTask] = tracked_dict()
+    commit_attempts: Dict[TaskId, TaskAttemptId] = tracked_dict()
+    launching: Dict[TaskAttemptId, ContainerId] = tracked_dict()
+    attempt_nodes: Dict[TaskAttemptId, NodeId] = tracked_dict()
+
+    def __init__(
+        self,
+        cluster,
+        name,
+        rm: str,
+        app_id: ApplicationId,
+        attempt_id: ApplicationAttemptId,
+        master_container: ContainerId,
+        num_maps: int,
+        num_reduces: int,
+        completed_tasks: List[TaskId],
+        **kwargs,
+    ):
+        super().__init__(cluster, name, **kwargs)
+        self.rm = rm
+        self.app_id = app_id
+        self.attempt_id = attempt_id
+        self.master_container = master_container
+        self.job_id = JobId(app_id)
+        self.num_maps = num_maps
+        self.num_reduces = num_reduces
+        self.recovered_tasks = set(completed_tasks)
+        self.job_done = False
+        cfg = cluster.config
+        self.launch_timeout: float = cfg.get("yarn.launch_timeout", 2.5)
+        self.task_fail_limit: int = cfg.get("yarn.task_fail_limit", 4)
+        self.disk = SimDisk()
+        self._history = FileOutputStream(self.disk, f"/history/{self.job_id}")
+        self._launch_timers: Dict[ContainerId, object] = {}
+        self._attempt_of_container: Dict[ContainerId, TaskAttemptId] = {}
+        self._task_failures: Dict[TaskId, int] = {}
+        self._reduces_started = False
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        LOG.info("MRAppMaster for {} starting as attempt {}", self.job_id, self.attempt_id)
+        for i in range(1, self.num_maps + 1):
+            task = MRTask(TaskId(self.job_id, "m", i))
+            if task.task_id in self.recovered_tasks:
+                task.sm.state = "SUCCEEDED"  # recovered from job history
+            self.tasks.put(task.task_id, task)
+        for i in range(1, self.num_reduces + 1):
+            task = MRTask(TaskId(self.job_id, "r", i))
+            self.tasks.put(task.task_id, task)
+        self.send(self.rm, "am_register", app_attempt_id=self.attempt_id)
+        self.set_timer(0.3, self._heartbeat, periodic=0.3)
+        pending_maps = [t for t in self.tasks.values() if t.kind == "m" and t.sm.state == "SCHEDULED"]
+        if pending_maps:
+            # Ask for one extra container; the excess is released (the
+            # will_release/release pair YARN-8649 races with).
+            self.send(self.rm, "allocate", app_attempt_id=self.attempt_id,
+                      count=len(pending_maps) + 1, preferred=None)
+        else:
+            self._maybe_start_reduces()
+
+    def on_shutdown(self) -> None:
+        if not self.job_done:
+            # Pro-active departure announcement, so the RM recovers the
+            # attempt without waiting for the AM liveness timeout.
+            self.set_timer(0.005, self._announce_shutdown)
+
+    def _announce_shutdown(self) -> None:
+        self.send(self.rm, "am_shutdown", app_attempt_id=self.attempt_id)
+
+    def _heartbeat(self) -> None:
+        if not self.job_done:
+            self.send(self.rm, "am_heartbeat", app_attempt_id=self.attempt_id)
+
+    # ------------------------------------------------------------------
+    # container allocation and task launch
+    # ------------------------------------------------------------------
+    def on_containers_allocated(self, src: str, allocations: List[Tuple[ContainerId, NodeId]]) -> None:
+        for container_id, node_id in allocations:
+            task = self._next_pending_task()
+            if task is None:
+                LOG.info("Releasing excess container {}", container_id)
+                self.send(self.rm, "will_release", container_id=container_id)
+                self.send(self.rm, "release_container", container_id=container_id)
+                continue
+            self._launch_attempt(task, container_id, node_id)
+
+    def _next_pending_task(self) -> Optional[MRTask]:
+        # Maps first (including maps re-run after lost output), reduces
+        # only once the reduce phase started.
+        for task in self.tasks.values():
+            if task.kind == "m" and task.sm.state == "SCHEDULED" and task.current_attempt is None:
+                return task
+        if self._reduces_started:
+            for task in self.tasks.values():
+                if task.kind == "r" and task.sm.state == "SCHEDULED" and task.current_attempt is None:
+                    return task
+        return None
+
+    def _launch_attempt(self, task: MRTask, container_id: ContainerId, node_id: NodeId) -> None:
+        task.next_attempt_num += 1
+        attempt_id = TaskAttemptId(task.task_id, task.next_attempt_num)
+        LOG.info("Assigned container {} to {}", container_id, attempt_id)
+        # MR-7178's post-write point: the attempt is recorded here, then the
+        # launch machinery below races with a machine fault.
+        task.current_attempt = attempt_id
+        self.attempt_nodes.put(attempt_id, node_id)
+        self.launching.put(attempt_id, container_id)
+        self._attempt_of_container[container_id] = attempt_id
+        self.send(self.rm, "acquire_container", container_id=container_id)
+        map_outputs = self._map_output_locations() if task.kind == "r" else None
+        self.send(node_id.host, "start_container", container_id=container_id,
+                  task_attempt_id=attempt_id, kind=task.kind, map_outputs=map_outputs)
+        self._launch_timers[container_id] = self.set_timer(
+            self.launch_timeout, self._launch_timed_out, attempt_id, container_id
+        )
+
+    def on_container_launched_ack(self, src: str, container_id: ContainerId,
+                                  task_attempt_id: TaskAttemptId) -> None:
+        if self.launching.contains(task_attempt_id):
+            self.launching.remove(task_attempt_id)
+        timer = self._launch_timers.pop(container_id, None)
+        if timer is not None:
+            timer.cancel()
+        task = self.tasks.get(task_attempt_id.task)
+        if task is not None and task.sm.can_handle("attempt_started"):
+            task.sm.handle("attempt_started")
+        self.send(self.rm, "container_launched", container_id=container_id)
+
+    def _launch_timed_out(self, attempt_id: TaskAttemptId, container_id: ContainerId) -> None:
+        # BUG:MR-7178 — when the container was already reported lost, the
+        # unpatched path dereferences the removed launch record and aborts.
+        cid = self.launching.get(attempt_id)
+        if self.cluster.is_patched("MR-7178") and cid is None:
+            return
+        self._launch_timers[cid].cancel()  # KeyError(None) when removed
+        self.launching.remove(attempt_id)
+        LOG.warn("Launch of {} timed out; rescheduling", attempt_id)
+        self._reschedule_attempt(attempt_id, count_failure=True)
+
+    # ------------------------------------------------------------------
+    # the Figure 3 commit protocol (AM side)
+    # ------------------------------------------------------------------
+    def on_commit_pending(self, src: str, task_attempt_id: TaskAttemptId,
+                          container_id: ContainerId) -> None:
+        task_id = task_attempt_id.task
+        recorded = self.commit_attempts.get(task_id)
+        if recorded is not None and recorded != task_attempt_id:
+            LOG.error(
+                "Commit check failed: task {} already has committing attempt {}; killing {}",
+                task_id, recorded, task_attempt_id,
+            )
+            self.send(src, "kill_attempt", container_id=container_id)
+            self._reschedule_attempt(task_attempt_id, count_failure=False)
+            return
+        # BUG:MR-3858's post-write point — the recorded attempt is never
+        # cleared if this node crashes before done_commit (Figure 3).
+        self.commit_attempts.put(task_id, task_attempt_id)
+        self.send(src, "commit_granted", task_attempt_id=task_attempt_id,
+                  container_id=container_id)
+
+    def on_start_commit(self, src: str, task_attempt_id: TaskAttemptId) -> None:
+        LOG.info("Attempt {} started committing", task_attempt_id)
+
+    def on_done_commit(self, src: str, task_attempt_id: TaskAttemptId,
+                       container_id: ContainerId, node_id: NodeId) -> None:
+        task_id = task_attempt_id.task
+        task = self.tasks.get(task_id)
+        if task is None:
+            return
+        recorded = self.commit_attempts.get(task_id)
+        if recorded != task_attempt_id:
+            LOG.warn("done_commit from non-committing attempt {}", task_attempt_id)
+            return
+        if task.sm.state != "RUNNING":
+            return
+        task.sm.handle("committed")
+        # Timeout issue TO-1's post-write point: the successful attempt is
+        # recorded; if its machine dies right after, nothing re-runs the map
+        # until the reduce's fetch retries give up (~10 minutes).
+        task.success_attempt = task_attempt_id
+        task.output_node = node_id
+        task.current_attempt = None
+        self._attempt_of_container.pop(container_id, None)
+        LOG.info("Task {} succeeded via {}", task_id, task_attempt_id)
+        self._history.write(("TASK_FINISHED", str(task_id)))
+        self._history.flush()
+        self.send(self.rm, "task_committed", app_attempt_id=self.attempt_id, task_id=task_id)
+        if task.kind == "m" and self._reduces_started:
+            # A re-run map: running reduces must learn the output's new home.
+            for host in self._running_reduce_hosts():
+                self.send(host, "update_output_location",
+                          task_id=task_id, node_id=node_id)
+        self._maybe_start_reduces()
+        self._maybe_finish_job()
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def on_container_completed(self, src: str, container_id: ContainerId, status: str) -> None:
+        """The RM reports a container gone (its node was LOST/decommissioned)."""
+        attempt_id = self._attempt_of_container.pop(container_id, None)
+        if attempt_id is None:
+            return
+        task = self.tasks.get(attempt_id.task)
+        if task is None or task.sm.state == "SUCCEEDED":
+            # TO-1: a completed map's lost output is *not* proactively
+            # re-run here; the reduce discovers it the slow way.
+            return
+        LOG.warn("Container {} of {} completed with status {}", container_id, attempt_id, status)
+        if self.launching.contains(attempt_id):
+            self.launching.remove(attempt_id)
+            if self.cluster.is_patched("MR-7178"):
+                timer = self._launch_timers.pop(container_id, None)
+                if timer is not None:
+                    timer.cancel()
+        if self.cluster.is_patched("MR-3858"):
+            if self.commit_attempts.get(attempt_id.task) == attempt_id:
+                self.commit_attempts.remove(attempt_id.task)
+        self._reschedule_attempt(attempt_id, count_failure=True)
+
+    def _reschedule_attempt(self, attempt_id: TaskAttemptId, count_failure: bool) -> None:
+        task = self.tasks.get(attempt_id.task)
+        if task is None or self.job_done:
+            return
+        if self.attempt_nodes.contains(attempt_id):
+            self.attempt_nodes.remove(attempt_id)
+        task.current_attempt = None
+        if task.sm.can_handle("attempt_failed"):
+            task.sm.handle("attempt_failed")
+        if count_failure:
+            failures = self._task_failures.get(task.task_id, 0) + 1
+            self._task_failures[task.task_id] = failures
+            if failures > self.task_fail_limit:
+                self._fail_job(f"task {task.task_id} failed {failures} times")
+                return
+        LOG.info("Rescheduling task {} (new attempt)", task.task_id)
+        self.send(self.rm, "allocate", app_attempt_id=self.attempt_id, count=1,
+                  preferred=None)
+
+    def on_fetch_failed(self, src: str, task_id: TaskId, reduce_attempt: TaskAttemptId) -> None:
+        """A reduce gave up fetching a map's output: re-run the map."""
+        task = self.tasks.get(task_id)
+        if task is None or task.sm.state != "SUCCEEDED":
+            return
+        LOG.warn("Output of {} lost; re-running the map", task_id)
+        task.sm.handle("output_lost")
+        task.success_attempt = None
+        task.output_node = None
+        self.commit_attempts.remove(task_id)
+        self.send(self.rm, "allocate", app_attempt_id=self.attempt_id, count=1, preferred=None)
+
+    # ------------------------------------------------------------------
+    # phase changes and job completion
+    # ------------------------------------------------------------------
+    def _maps_done(self) -> bool:
+        return all(t.sm.state == "SUCCEEDED" for t in self.tasks.values() if t.kind == "m")
+
+    def _maybe_start_reduces(self) -> None:
+        if self._reduces_started or not self._maps_done():
+            return
+        reduces = [t for t in self.tasks.values() if t.kind == "r"]
+        self._reduces_started = True
+        if not reduces:
+            return
+        # Data locality: prefer scheduling reduces next to map output
+        # (this is the preferred-node path YARN-5918 lives on).
+        preferred = next(
+            (t.output_node for t in self.tasks.values()
+             if t.kind == "m" and t.output_node is not None),
+            None,
+        )
+        LOG.info("All maps done; starting {} reduces for {}", len(reduces), self.job_id)
+        self.send(self.rm, "allocate", app_attempt_id=self.attempt_id,
+                  count=len(reduces), preferred=preferred)
+
+    def _map_output_locations(self) -> List[Tuple[TaskId, NodeId]]:
+        return [
+            (t.task_id, t.output_node)
+            for t in self.tasks.values()
+            if t.kind == "m" and t.output_node is not None
+        ]
+
+    def _running_reduce_hosts(self) -> List[str]:
+        hosts = []
+        for task in self.tasks.values():
+            if task.kind != "r" or task.current_attempt is None:
+                continue
+            if self.attempt_nodes.contains(task.current_attempt):
+                hosts.append(self.attempt_nodes.get(task.current_attempt).host)
+        return hosts
+
+    def _maybe_finish_job(self) -> None:
+        if self.job_done or not all(t.sm.state == "SUCCEEDED" for t in self.tasks.values()):
+            return
+        self.job_done = True
+        LOG.info("Job {} completed successfully; unregistering", self.job_id)
+        self.send(self.rm, "am_unregister", app_attempt_id=self.attempt_id,
+                  final_status="SUCCEEDED")
+
+    def on_finish_ack(self, src: str, app_attempt_id: ApplicationAttemptId) -> None:
+        self.set_timer(0.02, self._flush_history)
+
+    def _flush_history(self) -> None:
+        self._history.write(("JOB_FINISHED", str(self.job_id)))
+        self._history.flush()
+        self._history.close()
+        self.send(self.rm, "job_history_flush", app_attempt_id=self.attempt_id)
+        self.set_timer(0.01, self.begin_shutdown)
+
+    def _fail_job(self, reason: str) -> None:
+        if self.job_done:
+            return
+        self.job_done = True
+        LOG.error("Job {} failed: {}", self.job_id, reason)
+        self.send(self.rm, "am_unregister", app_attempt_id=self.attempt_id,
+                  final_status="FAILED")

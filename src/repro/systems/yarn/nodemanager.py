@@ -1,0 +1,313 @@
+"""The NodeManager: container launch, task execution, shuffle serving.
+
+Tasks (the per-container "JVMs") run *inside* the NM process in this
+miniature, so crashing the NM's machine kills its tasks — which is exactly
+the fault the paper injects.  The MR commit protocol of Figure 3
+(``commitPending`` → ``startCommit`` → ``doneCommit``) is driven from here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import HeartbeatSender, Node, tracked_dict, tracked_set
+from repro.cluster.ids import (
+    ApplicationId,
+    ContainerId,
+    JvmId,
+    NodeId,
+    TaskAttemptId,
+    TaskId,
+)
+from repro.cluster.io import FileOutputStream, SimDisk
+from repro.mtlog import get_logger
+
+LOG = get_logger("yarn.nodemanager")
+
+
+class ReduceFetchState:
+    """Book-keeping for one reduce attempt's shuffle phase."""
+
+    def __init__(self, needed: List[Tuple[TaskId, NodeId]]):
+        self.pending: Dict[TaskId, NodeId] = {t: n for t, n in needed}
+        self.retries: Dict[TaskId, int] = {t: 0 for t, _ in needed}
+        self.reported_failed: set = set()
+
+    def done(self) -> bool:
+        return not self.pending
+
+
+class NodeManager(Node):
+    """Hadoop2/Yarn NodeManager (worker daemon)."""
+
+    role = "nodemanager"
+    critical = False
+    exception_policy = "log"
+    default_port = 42349
+
+    containers: Dict[ContainerId, TaskAttemptId] = tracked_dict()
+    map_outputs: Dict[TaskId, str] = tracked_dict()
+    local_apps: set = tracked_set()
+
+    def __init__(self, cluster, name, rm: str = "rm", **kwargs):
+        super().__init__(cluster, name, **kwargs)
+        self.rm = rm
+        cfg = cluster.config
+        self.map_duration: float = cfg.get("yarn.map_duration", 0.8)
+        self.reduce_duration: float = cfg.get("yarn.reduce_duration", 0.5)
+        self.commit_duration: float = cfg.get("yarn.commit_duration", 0.05)
+        self.fetch_timeout: float = cfg.get("yarn.fetch_timeout", 5.0)
+        self.fetch_retry_interval: float = cfg.get("yarn.fetch_retry_interval", 30.0)
+        self.max_fetch_retries: int = cfg.get("yarn.max_fetch_retries", 20)
+        self.disk = SimDisk()
+        self._am_of_container: Dict[ContainerId, str] = {}
+        self._kind_of_attempt: Dict[TaskAttemptId, str] = {}
+        self._fetches: Dict[TaskAttemptId, ReduceFetchState] = {}
+        self._jvm_seq = 0
+        self._am_seq = 0
+        self.heartbeat = HeartbeatSender(
+            self,
+            rm,
+            "node_heartbeat",
+            cfg.get("yarn.nm_heartbeat", 0.5),
+            payload=lambda: {"node_id": self.node_id, "app_ids": list(self.local_apps.values())},
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.send(self.rm, "register_node", node_id=self.node_id)
+        self.heartbeat.start()
+        LOG.info("NodeManager started on {}", self.node_id)
+
+    def on_shutdown(self) -> None:
+        # The graceful shutdown script announces departure pro-actively, so
+        # the RM need not wait for the liveness timeout (paper Section 2.1).
+        self.send(self.rm, "unregister_node", node_id=self.node_id)
+
+    # ------------------------------------------------------------------
+    # master container: spawn an AM process on this machine
+    # ------------------------------------------------------------------
+    def on_launch_master(
+        self,
+        src: str,
+        app_id: ApplicationId,
+        attempt_id,
+        container_id: ContainerId,
+        num_maps: int,
+        num_reduces: int,
+        completed_tasks: List[TaskId],
+    ) -> None:
+        self._am_seq += 1
+        self.local_apps.add(app_id)
+        am_name = f"am-{app_id.seq:04d}-{attempt_id.attempt:02d}"
+        am_port = 43000 + (app_id.seq % 50) * 10 + attempt_id.attempt
+        LOG.info("Launching master container {} for {} on {}", container_id, attempt_id, self.node_id)
+        # Spawning the AM JVM takes seconds on a real cluster; the window
+        # in which the new attempt exists but is uninitialized (YARN-9238's
+        # Figure 8 scenario) is exactly this delay.
+        spawn_delay = self.cluster.config.get("yarn.am_spawn_delay", 2.0)
+        self.set_timer(spawn_delay, self._spawn_master, am_name, am_port, app_id,
+                       attempt_id, container_id, num_maps, num_reduces, completed_tasks)
+
+    def _spawn_master(self, am_name, am_port, app_id, attempt_id, container_id,
+                      num_maps, num_reduces, completed_tasks) -> None:
+        from repro.systems.yarn.appmaster import MRAppMaster  # import cycle guard
+
+        am = MRAppMaster(
+            self.cluster,
+            am_name,
+            host=self.host,
+            port=am_port,
+            rm=self.rm,
+            app_id=app_id,
+            attempt_id=attempt_id,
+            master_container=container_id,
+            num_maps=num_maps,
+            num_reduces=num_reduces,
+            completed_tasks=completed_tasks,
+        )
+        am.start()
+
+    # ------------------------------------------------------------------
+    # task containers
+    # ------------------------------------------------------------------
+    def on_start_container(
+        self,
+        src: str,
+        container_id: ContainerId,
+        task_attempt_id: TaskAttemptId,
+        kind: str,
+        map_outputs: Optional[List[Tuple[TaskId, NodeId]]] = None,
+    ) -> None:
+        self.containers.put(container_id, task_attempt_id)
+        self._am_of_container[container_id] = src
+        self._kind_of_attempt[task_attempt_id] = kind
+        self.local_apps.add(task_attempt_id.task.job.app)
+        self._jvm_seq += 1
+        jvm_id = JvmId(task_attempt_id.task.job, kind, self._jvm_seq)
+        LOG.info("Start container {} for {}", container_id, task_attempt_id)
+        LOG.info("JVM with ID: {} given task: {}", jvm_id, task_attempt_id)
+        launch_log = FileOutputStream(self.disk, f"/nm/logs/{container_id}/launch")
+        launch_log.write(("LAUNCH", str(task_attempt_id)))
+        launch_log.flush()
+        launch_log.close()
+        self.send(src, "container_launched_ack", container_id=container_id,
+                  task_attempt_id=task_attempt_id)
+        if kind == "m":
+            self.set_timer(self.map_duration, self._map_finished, container_id, task_attempt_id)
+        else:
+            self._begin_reduce(container_id, task_attempt_id, map_outputs or [])
+
+    def on_kill_attempt(self, src: str, container_id: ContainerId) -> None:
+        attempt = self.containers.get(container_id)
+        if attempt is None:
+            return
+        LOG.info("Killing attempt {} in container {}", attempt, container_id)
+        self._container_done(container_id)
+
+    def _container_done(self, container_id: ContainerId) -> None:
+        if self.containers.contains(container_id):
+            self.containers.remove(container_id)
+            self.send(self.rm, "container_finished", container_id=container_id)
+
+    # ------------------------------------------------------------------
+    # map path: the Figure 3 commit protocol
+    # ------------------------------------------------------------------
+    def _map_finished(self, container_id: ContainerId, attempt_id: TaskAttemptId) -> None:
+        if not self.containers.contains(container_id):
+            return  # killed meanwhile
+        am = self._am_of_container.get(container_id)
+        if am is None:
+            return
+        # The task materializes its output *before* asking to commit — the
+        # commit protocol only publishes it (keeps IO points away from the
+        # MR-3858 window, as in the real task runtime).
+        if self._kind_of_attempt.get(attempt_id, "m") == "m":
+            out_stream = FileOutputStream(self.disk, f"/nm/output/{attempt_id.task}")
+            out_stream.write(f"output-{attempt_id}")
+            out_stream.flush()
+            out_stream.close()
+        LOG.info("Task {} finished; requesting commit permission", attempt_id)
+        self.send(am, "commit_pending", task_attempt_id=attempt_id, container_id=container_id)
+
+    def on_commit_granted(self, src: str, task_attempt_id: TaskAttemptId,
+                          container_id: ContainerId) -> None:
+        if not self.containers.contains(container_id):
+            return
+        self.send(src, "start_commit", task_attempt_id=task_attempt_id)
+        self.set_timer(self.commit_duration, self._finish_commit, container_id, task_attempt_id, src)
+
+    def _finish_commit(self, container_id: ContainerId, attempt_id: TaskAttemptId, am: str) -> None:
+        if not self.containers.contains(container_id):
+            return
+        kind = self._kind_of_attempt.get(attempt_id, "m")
+        if kind == "m":
+            self.map_outputs.put(attempt_id.task, f"output-{attempt_id}")
+        LOG.info("Committed task attempt {}", attempt_id)
+        self.send(am, "done_commit", task_attempt_id=attempt_id, container_id=container_id,
+                  node_id=self.node_id)
+        self._container_done(container_id)
+
+    # ------------------------------------------------------------------
+    # reduce path: shuffle with retries (timeout issue TO-1 lives here)
+    # ------------------------------------------------------------------
+    def _begin_reduce(
+        self,
+        container_id: ContainerId,
+        attempt_id: TaskAttemptId,
+        map_outputs: List[Tuple[TaskId, NodeId]],
+    ) -> None:
+        fetch = ReduceFetchState(map_outputs)
+        self._fetches[attempt_id] = fetch
+        LOG.info("Reduce {} fetching {} map outputs", attempt_id, len(fetch.pending))
+        if fetch.done():
+            self._run_reduce(container_id, attempt_id)
+            return
+        for task_id, node_id in list(fetch.pending.items()):
+            self._fetch_one(container_id, attempt_id, task_id, node_id)
+
+    def _fetch_one(self, container_id: ContainerId, attempt_id: TaskAttemptId,
+                   task_id: TaskId, node_id: NodeId) -> None:
+        if not self.containers.contains(container_id):
+            return
+        fetch = self._fetches.get(attempt_id)
+        if fetch is None or task_id not in fetch.pending:
+            return
+        self.send(node_id.host, "fetch_output", task_id=task_id,
+                  reduce_attempt=attempt_id, reduce_container=container_id)
+        self.set_timer(self.fetch_timeout, self._fetch_timed_out,
+                       container_id, attempt_id, task_id)
+
+    def _fetch_timed_out(self, container_id: ContainerId, attempt_id: TaskAttemptId,
+                         task_id: TaskId) -> None:
+        fetch = self._fetches.get(attempt_id)
+        if fetch is None or task_id not in fetch.pending:
+            return
+        fetch.retries[task_id] = fetch.retries.get(task_id, 0) + 1
+        if fetch.retries[task_id] >= self.max_fetch_retries:
+            if task_id not in fetch.reported_failed:
+                fetch.reported_failed.add(task_id)
+                am = self._am_of_container.get(container_id)
+                LOG.error("Reduce {} giving up fetching output of {}", attempt_id, task_id)
+                if am:
+                    self.send(am, "fetch_failed", task_id=task_id, reduce_attempt=attempt_id)
+            return
+        LOG.warn(
+            "Reduce {} failed to fetch output of {} (retry {}); retrying",
+            attempt_id, task_id, fetch.retries[task_id],
+        )
+        node_id = fetch.pending[task_id]
+        self.set_timer(
+            self.fetch_retry_interval,
+            self._fetch_one, container_id, attempt_id, task_id, node_id,
+        )
+
+    def on_fetch_output(self, src: str, task_id: TaskId, reduce_attempt: TaskAttemptId,
+                        reduce_container: ContainerId) -> None:
+        data = self.map_outputs.get(task_id)
+        if data is None:
+            return  # no output here; the fetcher's timeout handles it
+        self.send(src, "output_data", task_id=task_id, reduce_attempt=reduce_attempt,
+                  reduce_container=reduce_container, data=data)
+
+    def on_output_data(self, src: str, task_id: TaskId, reduce_attempt: TaskAttemptId,
+                       reduce_container: ContainerId, data: str) -> None:
+        fetch = self._fetches.get(reduce_attempt)
+        if fetch is None or task_id not in fetch.pending:
+            return
+        del fetch.pending[task_id]
+        if fetch.done():
+            self._run_reduce(reduce_container, reduce_attempt)
+
+    def on_update_output_location(self, src: str, task_id: TaskId, node_id: NodeId) -> None:
+        """AM re-ran a map whose output was lost; resume fetching there."""
+        for attempt_id, fetch in self._fetches.items():
+            if task_id in fetch.pending:
+                fetch.pending[task_id] = node_id
+                fetch.retries[task_id] = 0
+                fetch.reported_failed.discard(task_id)
+                container_id = self._container_for(attempt_id)
+                if container_id is not None:
+                    self._fetch_one(container_id, attempt_id, task_id, node_id)
+
+    def _container_for(self, attempt_id: TaskAttemptId) -> Optional[ContainerId]:
+        for container_id, aid in self.containers.snapshot().items():
+            if aid == attempt_id:
+                return container_id
+        return None
+
+    def _run_reduce(self, container_id: ContainerId, attempt_id: TaskAttemptId) -> None:
+        LOG.info("Reduce {} finished shuffle; running", attempt_id)
+        self.set_timer(self.reduce_duration, self._map_finished, container_id, attempt_id)
+
+    # ------------------------------------------------------------------
+    # app cleanup
+    # ------------------------------------------------------------------
+    def on_cleanup_app(self, src: str, app_id: ApplicationId) -> None:
+        if self.local_apps.contains(app_id):
+            self.local_apps.remove(app_id)
+        for task_id in list(self.map_outputs.snapshot()):
+            if task_id.job.app == app_id:
+                self.map_outputs.remove(task_id)

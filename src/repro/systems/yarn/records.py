@@ -1,0 +1,189 @@
+"""YARN/MapReduce entity records.
+
+These are the miniature counterparts of the classes in the paper's Table 2:
+``SchedulerNode``, ``RMAppImpl``, ``SchedulerApplicationAttempt``,
+``RMContainerImpl``, ``TaskImpl``/``TaskAttemptImpl``.  High-level state
+lives in tracked fields so both CrashTuner's static analysis (via the type
+annotations) and its injection hooks (via the access bus) can see it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.ids import (
+    ApplicationAttemptId,
+    ApplicationId,
+    ContainerId,
+    NodeId,
+    TaskAttemptId,
+    TaskId,
+)
+from repro.cluster.state import tracked_list, tracked_ref
+from repro.systems.common import StateMachine, transitions
+
+#: RMApp states (subset of the real RMAppImpl machine)
+APP_TRANSITIONS = transitions(
+    ("NEW", "start", "RUNNING"),
+    ("RUNNING", "attempt_failed", "RUNNING"),
+    ("RUNNING", "unregister", "FINISHING"),
+    ("RUNNING", "fail", "FAILED"),
+    ("RUNNING", "nm_app_report", "RUNNING"),
+    ("FINISHING", "nm_app_report", "FINISHING"),
+    ("FINISHING", "history_flush", "FINISHING"),
+    ("FINISHING", "finalize", "FINISHED"),
+    # Late NM app reports are harmless after finalization (their cleanup
+    # acks race the finalize timer in every clean run).
+    ("FINISHED", "nm_app_report", "FINISHED"),
+)
+
+#: RMAppAttempt states
+ATTEMPT_TRANSITIONS = transitions(
+    ("NEW", "master_allocated", "ALLOCATED"),
+    ("ALLOCATED", "am_registered", "RUNNING"),
+    ("RUNNING", "allocate", "RUNNING"),
+    ("RUNNING", "unregister", "FINISHED"),
+    ("NEW", "fail", "FAILED"),
+    ("ALLOCATED", "fail", "FAILED"),
+    ("RUNNING", "fail", "FAILED"),
+    ("ALLOCATED", "master_container_finished", "FAILED"),
+    ("RUNNING", "master_container_finished", "FAILED"),
+)
+
+#: RMContainer states
+CONTAINER_TRANSITIONS = transitions(
+    ("ALLOCATED", "acquired", "ACQUIRED"),
+    ("ACQUIRED", "launched", "RUNNING"),
+    ("ALLOCATED", "kill", "KILLED"),
+    ("ACQUIRED", "kill", "KILLED"),
+    ("RUNNING", "kill", "KILLED"),
+    ("RUNNING", "finished", "COMPLETED"),
+    ("ACQUIRED", "finished", "COMPLETED"),
+)
+
+
+class SchedulerNode:
+    """The RM scheduler's view of one NodeManager (slots + containers)."""
+
+    node_id: NodeId = tracked_ref()
+
+    def __init__(self, node_id: NodeId, total_slots: int):
+        self.node_id = node_id
+        self.total_slots = total_slots
+        self.used_slots = 0
+        self.container_ids: List[ContainerId] = []
+
+    def __str__(self) -> str:
+        # Like the real toString(): render as the node it stands for, which
+        # is what lets the online log analysis map this value to a machine.
+        return str(self.node_id)
+
+    def available_slots(self) -> int:
+        return self.total_slots - self.used_slots
+
+    def allocate(self, container_id: ContainerId) -> None:
+        self.used_slots += 1
+        self.container_ids.append(container_id)
+
+    def release_container(self, container_id: ContainerId) -> None:
+        if container_id in self.container_ids:
+            self.container_ids.remove(container_id)
+            self.used_slots -= 1
+
+
+class RMApp:
+    """The RM's record of one application (RMAppImpl)."""
+
+    app_id: ApplicationId = tracked_ref()
+    current_attempt: Optional[ApplicationAttemptId] = tracked_ref()
+
+    def __init__(self, app_id: ApplicationId, num_maps: int, num_reduces: int):
+        self.app_id = app_id
+        self.num_maps = num_maps
+        self.num_reduces = num_reduces
+        self.current_attempt = None
+        self.attempt_count = 0
+        self.completed_tasks: List[TaskId] = []
+        self.sm = StateMachine(str(app_id), "NEW", APP_TRANSITIONS)
+        self.final_status: Optional[str] = None
+        self.client: Optional[str] = None  # node name that submitted
+
+    def __str__(self) -> str:
+        return str(self.app_id)
+
+
+class SchedulerApplicationAttempt:
+    """One attempt to run an application (SchedulerApplicationAttempt)."""
+
+    attempt_id: ApplicationAttemptId = tracked_ref()
+    master_container: Optional[ContainerId] = tracked_ref()
+
+    def __init__(self, attempt_id: ApplicationAttemptId):
+        self.attempt_id = attempt_id
+        self.master_container = None
+        self.container_ids: List[ContainerId] = []
+        self.am_node: Optional[str] = None
+        self.sm = StateMachine(str(attempt_id), "NEW", ATTEMPT_TRANSITIONS)
+
+    def __str__(self) -> str:
+        return str(self.attempt_id)
+
+
+class RMContainer:
+    """The RM's record of one container (RMContainerImpl).
+
+    Per Definition 2's containing-class rule, this class is itself
+    meta-info: its ``container_id`` field is only set in the constructor.
+    """
+
+    container_id: ContainerId = tracked_ref()
+    node_id: NodeId = tracked_ref()
+    attempt_id: ApplicationAttemptId = tracked_ref()
+
+    def __init__(
+        self,
+        container_id: ContainerId,
+        node_id: NodeId,
+        attempt_id: ApplicationAttemptId,
+        is_master: bool = False,
+    ):
+        self.container_id = container_id
+        self.node_id = node_id
+        self.attempt_id = attempt_id
+        self.is_master = is_master
+        self.sm = StateMachine(str(container_id), "ALLOCATED", CONTAINER_TRANSITIONS)
+
+    def __str__(self) -> str:
+        return str(self.container_id)
+
+
+#: MR task states, AM-side
+TASK_TRANSITIONS = transitions(
+    ("SCHEDULED", "attempt_started", "RUNNING"),
+    ("RUNNING", "attempt_started", "RUNNING"),
+    ("RUNNING", "attempt_failed", "SCHEDULED"),
+    ("SCHEDULED", "attempt_failed", "SCHEDULED"),
+    ("RUNNING", "committed", "SUCCEEDED"),
+    ("SUCCEEDED", "output_lost", "SCHEDULED"),
+)
+
+
+class MRTask:
+    """An MR task on the AppMaster (TaskImpl): map or reduce."""
+
+    task_id: TaskId = tracked_ref()
+    current_attempt: Optional[TaskAttemptId] = tracked_ref()
+    success_attempt: Optional[TaskAttemptId] = tracked_ref()
+    output_node: Optional[NodeId] = tracked_ref()
+
+    def __init__(self, task_id: TaskId):
+        self.task_id = task_id
+        self.kind = task_id.task_type  # "m" or "r"
+        self.current_attempt = None
+        self.success_attempt = None
+        self.output_node = None  # where a succeeded map's output lives
+        self.next_attempt_num = 0
+        self.sm = StateMachine(str(task_id), "SCHEDULED", TASK_TRANSITIONS)
+
+    def __str__(self) -> str:
+        return str(self.task_id)

@@ -1,0 +1,604 @@
+"""The ResourceManager: scheduler, liveness monitors, app lifecycle.
+
+This is the miniature of Hadoop2/Yarn's RM and the host of most of the
+YARN bugs CrashTuner found (Table 5).  Every seeded bug site is tagged
+``# BUG:<jira-id>`` and guarded by ``cluster.is_patched(<jira-id>)`` so the
+same code exhibits the buggy and the fixed behaviour.
+
+Bug sites seeded here (see ``repro.bugs.catalog`` for the full records):
+
+* YARN-9238 — allocate reads ``app.current_attempt`` after the attempt's
+  node left and recovery replaced the attempt (Figure 8).
+* YARN-9164 — the job-finish path reads a removed node out of ``nodes``
+  and NPEs, aborting the RM (Figure 10); two call sites of the promoted
+  ``get_sched_node`` read (the paper counts this issue as two bugs).
+* YARN-9193 — the scheduler places a container on a node that was removed
+  between candidate selection and placement.
+* YARN-5918 — the allocate path reads the resources of a removed preferred
+  node (Figure 2); per the original issue this fails the job rather than
+  the RM.
+* YARN-9165 — an acquire ack arrives for a container the node-removal path
+  already deleted.
+* YARN-8650 — a launch ack arrives for a container already KILLED by node
+  removal ("Invalid event" x2 in the paper).
+* YARN-9248 — attempt cleanup kills containers already KILLED by node
+  removal ("Invalid event").
+* YARN-9201 — node removal reports a master container finished on an
+  attempt that already failed ("Invalid event").
+* YARN-9194 — a late history flush reaches an application that was already
+  finalized ("Invalid event").
+* YARN-8649 — releasing a container whose record was concurrently removed
+  leaks the attempt's pending-release accounting.
+* Timeout issue TO-2 (Section 4.1.3) — an attempt whose master container
+  node dies right after allocation is only recovered by the slow
+  AM-launch liveness monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster import LivenessMonitor, Node, tracked_dict, tracked_list
+from repro.cluster.ids import (
+    CLUSTER_TIMESTAMP,
+    ApplicationAttemptId,
+    ApplicationId,
+    ContainerId,
+    NodeId,
+    TaskId,
+)
+from repro.mtlog import get_logger
+from repro.systems.common import InvalidStateTransition, StateMachine
+from repro.systems.yarn.records import (
+    MRTask,
+    RMApp,
+    RMContainer,
+    SchedulerApplicationAttempt,
+    SchedulerNode,
+)
+
+LOG = get_logger("yarn.resourcemanager")
+
+
+class Ask:
+    """A pending container request from an AM."""
+
+    def __init__(self, attempt_id: ApplicationAttemptId, count: int, preferred: Optional[NodeId]):
+        self.attempt_id = attempt_id
+        self.remaining = count
+        self.preferred = preferred
+
+
+class ResourceManager(Node):
+    """Hadoop2/Yarn ResourceManager (master daemon)."""
+
+    role = "resourcemanager"
+    critical = True
+    exception_policy = "abort"
+    default_port = 8030
+
+    # the scheduler's and RM context's high-level state (Table 2 types)
+    nodes: Dict[NodeId, SchedulerNode] = tracked_dict()
+    apps: Dict[ApplicationId, RMApp] = tracked_dict()
+    attempts: Dict[ApplicationAttemptId, SchedulerApplicationAttempt] = tracked_dict()
+    containers: Dict[ContainerId, RMContainer] = tracked_dict()
+    completed_apps: List[ApplicationId] = tracked_list()
+
+    def __init__(self, cluster, name, **kwargs):
+        super().__init__(cluster, name, **kwargs)
+        cfg = cluster.config
+        self.slots_per_node: int = cfg.get("yarn.slots_per_node", 4)
+        self.max_attempts: int = cfg.get("yarn.max_app_attempts", 3)
+        self.nm_expiry: float = cfg.get("yarn.nm_expiry", 2.0)
+        self.am_expiry: float = cfg.get("yarn.am_expiry", 1.5)
+        self.am_launch_expiry: float = cfg.get("yarn.am_launch_expiry", 600.0)
+        self._app_seq = 0
+        self._container_seq: Dict[ApplicationAttemptId, int] = {}
+        self._pending_asks: List[Ask] = []
+        self._pending_release: Dict[ApplicationAttemptId, int] = {}
+        self._leak_since: Dict[ApplicationAttemptId, float] = {}
+        self.nm_monitor = LivenessMonitor(
+            self, self.nm_expiry, 0.5, self._on_nm_expired, name="NMLivelinessMonitor"
+        )
+        self.am_monitor = LivenessMonitor(
+            self, self.am_expiry, 0.5, self._on_am_expired, name="AMLivelinessMonitor"
+        )
+        # Timeout issue TO-2: attempts between master allocation and AM
+        # registration are only watched by this very slow monitor.
+        self.am_launch_monitor = LivenessMonitor(
+            self, self.am_launch_expiry, 5.0, self._on_am_launch_expired, name="AMLaunchMonitor"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        LOG.info("ResourceManager started at {}", self.node_id)
+        self.nm_monitor.start()
+        self.am_monitor.start()
+        self.am_launch_monitor.start()
+        self.set_timer(2.0, self._audit_resources, periodic=2.0)
+
+    # ------------------------------------------------------------------
+    # NodeManager membership
+    # ------------------------------------------------------------------
+    def on_register_node(self, src: str, node_id: NodeId) -> None:
+        snode = SchedulerNode(node_id, self.slots_per_node)
+        self.nodes.put(node_id, snode)
+        self.nm_monitor.register(node_id)
+        LOG.info("NodeManager from {} registered as {}", node_id.host, node_id)
+        self._assign_pending()
+
+    def on_unregister_node(self, src: str, node_id: NodeId) -> None:
+        LOG.info("NodeManager {} unregistered gracefully", node_id)
+        self._handle_node_removed(node_id, "DECOMMISSIONED")
+
+    def on_node_heartbeat(self, src: str, node_id: NodeId, app_ids: List[ApplicationId]) -> None:
+        self.nm_monitor.ping(node_id)
+        for app_id in app_ids:
+            self._handle_nm_app_report(app_id)
+        self._assign_pending()
+
+    def _handle_nm_app_report(self, app_id: ApplicationId) -> None:
+        app = self.apps.get(app_id)
+        if app is None:
+            return
+        self._dispatch_entity_event(app.sm, "nm_app_report")
+
+    def _on_nm_expired(self, node_id: NodeId) -> None:
+        LOG.warn("Node {} expired; transitioning to LOST", node_id)
+        self._handle_node_removed(node_id, "LOST")
+
+    def _handle_node_removed(self, node_id: NodeId, reason: str) -> None:
+        if not self.nodes.contains(node_id):
+            return
+        snode = self.nodes.get(node_id)
+        self.nodes.remove(node_id)
+        self.nm_monitor.unregister(node_id)
+        LOG.info("Removed node {} cluster-wide ({})", node_id, reason)
+        for container_id in list(snode.container_ids):
+            rmc = self.containers.get(container_id)
+            if rmc is None:
+                continue
+            if rmc.sm.state == "ALLOCATED":
+                # Never handed to the AM: the scheduler silently forgets it.
+                # (This removal is what YARN-8649 and YARN-9165 race with.)
+                self.containers.remove(container_id)
+                continue
+            self._dispatch_entity_event(rmc.sm, "kill")
+            if rmc.is_master:
+                # BUG:YARN-9201 — if the AM liveness path already failed this
+                # attempt, this event is invalid for its current state.
+                attempt = self.attempts.get(rmc.attempt_id)
+                if attempt is not None:
+                    already_terminal = attempt.sm.state in ("FAILED", "FINISHED")
+                    if self.cluster.is_patched("YARN-9201") and not attempt.sm.can_handle(
+                        "master_container_finished"
+                    ):
+                        LOG.info("Ignoring master-container finish for {}", rmc.attempt_id)
+                    else:
+                        self._dispatch_entity_event(attempt.sm, "master_container_finished")
+                    if not already_terminal and attempt.sm.state == "FAILED":
+                        self._recover_attempt(rmc.attempt_id, f"master node {reason}")
+            else:
+                # The KILLED record stays in `containers` until the AM acks
+                # (late acks hitting it are exactly YARN-8650); it leaves
+                # the attempt's live list so job-finish release skips it.
+                attempt = self.attempts.get(rmc.attempt_id)
+                if attempt is not None and container_id in attempt.container_ids:
+                    attempt.container_ids.remove(container_id)
+                self._notify_am(rmc.attempt_id, "container_completed",
+                                container_id=container_id, status=reason)
+
+    # ------------------------------------------------------------------
+    # application lifecycle
+    # ------------------------------------------------------------------
+    def on_submit_application(self, src: str, num_maps: int, num_reduces: int) -> None:
+        self._app_seq += 1
+        app_id = ApplicationId(CLUSTER_TIMESTAMP, self._app_seq)
+        app = RMApp(app_id, num_maps, num_reduces)
+        app.client = src
+        self.apps.put(app_id, app)
+        app.sm.handle("start")
+        LOG.info("Submitted application {}", app_id)
+        self.send(src, "application_accepted", app_id=app_id)
+        self._start_new_attempt(app)
+
+    def _start_new_attempt(self, app: RMApp) -> None:
+        app.attempt_count += 1
+        attempt_id = ApplicationAttemptId(app.app_id, app.attempt_count)
+        attempt = SchedulerApplicationAttempt(attempt_id)
+        self.attempts.put(attempt_id, attempt)
+        app.current_attempt = attempt_id
+        LOG.info("Created new attempt {} for application {}", attempt_id, app.app_id)
+        self._allocate_master_container(app, attempt)
+
+    def _allocate_master_container(self, app: RMApp, attempt: SchedulerApplicationAttempt) -> None:
+        snode = self._pick_node(None)
+        if snode is None:
+            LOG.warn("No node available for master container of {}; retrying", attempt.attempt_id)
+            self.set_timer(0.5, self._allocate_master_container, app, attempt)
+            return
+        container_id = self._new_container(attempt, snode, is_master=True)
+        # The scheduler logs the allocation before the attempt record is
+        # updated, as the real SchedulerNode.allocateContainer does — this
+        # ordering is what makes the stored value resolvable online.
+        LOG.info(
+            "Allocated master container {} for attempt {} on host {}",
+            container_id, attempt.attempt_id, snode.node_id,
+        )
+        attempt.master_container = container_id
+        attempt.sm.handle("master_allocated")
+        self.am_launch_monitor.register(attempt.attempt_id)
+        self.send(
+            snode.node_id.host,
+            "launch_master",
+            app_id=app.app_id,
+            attempt_id=attempt.attempt_id,
+            container_id=container_id,
+            num_maps=app.num_maps,
+            num_reduces=app.num_reduces,
+            completed_tasks=list(app.completed_tasks),
+        )
+
+    def on_am_register(self, src: str, app_attempt_id: ApplicationAttemptId) -> None:
+        attempt = self.attempts.get(app_attempt_id)
+        if attempt is None:
+            LOG.warn("Register from unknown attempt {}", app_attempt_id)
+            return
+        attempt.am_node = src
+        self._dispatch_entity_event(attempt.sm, "am_registered")
+        # The master container is live now: drive its record to RUNNING so
+        # node removal handles it through the master-container path.
+        master = self.containers.get(attempt.master_container)
+        if master is not None:
+            self._dispatch_entity_event(master.sm, "acquired")
+            self._dispatch_entity_event(master.sm, "launched")
+        self.am_launch_monitor.unregister(app_attempt_id)
+        self.am_monitor.register(app_attempt_id)
+        LOG.info("AM for attempt {} registered from {}", app_attempt_id, src)
+
+    def on_am_heartbeat(self, src: str, app_attempt_id: ApplicationAttemptId) -> None:
+        self.am_monitor.ping(app_attempt_id)
+
+    # ------------------------------------------------------------------
+    # the allocate RPC (Figure 8)
+    # ------------------------------------------------------------------
+    def on_allocate(
+        self,
+        src: str,
+        app_attempt_id: ApplicationAttemptId,
+        count: int,
+        preferred: Optional[NodeId] = None,
+    ) -> None:
+        if not self.attempts.contains(app_attempt_id):  # the Figure 8 line-2 check
+            return
+        app = self.apps.get(app_attempt_id.app)
+        if app is None:
+            return
+        # BUG:YARN-9238 — reads the application's *current* attempt.  If the
+        # attempt's node left and recovery created a fresh attempt between
+        # the check above and this read, we allocate on an uninitialized
+        # attempt (the original aborts; Figure 8's patch adds the guard).
+        current_id = app.current_attempt
+        attempt = self.attempts.get(current_id)
+        if attempt is None:
+            return
+        if self.cluster.is_patched("YARN-9238") and attempt.attempt_id != app_attempt_id:
+            LOG.error("Calling allocate on removed application attempt {}", app_attempt_id)
+            return
+        attempt.sm.handle("allocate")  # raises InvalidStateTransition on a NEW attempt
+        self._pending_asks.append(Ask(attempt.attempt_id, count, preferred))
+        LOG.info("Allocate request for {}: {} containers", attempt.attempt_id, count)
+        self._assign_pending()
+
+    def on_will_release(self, src: str, container_id: ContainerId) -> None:
+        """AM heartbeat advertising a pending container release."""
+        self.expect_release(container_id.app_attempt)
+
+    def on_release_container(self, src: str, container_id: ContainerId) -> None:
+        """AM returns an excess container it never used."""
+        # BUG:YARN-8649 — if node removal already deleted this ALLOCATED
+        # container, the release is dropped *inside the helper* and the
+        # attempt's pending-release accounting is never settled: a leak.
+        rmc = self.containers.get(container_id)
+        released = self._do_release(rmc, container_id)
+        if not released and self.cluster.is_patched("YARN-8649"):
+            self._settle_release(container_id.app_attempt)
+
+    def _do_release(self, rmc: Optional[RMContainer], container_id: ContainerId) -> bool:
+        if rmc is None:
+            return False  # silently dropped — this is the leak
+        snode = self.get_sched_node(rmc.node_id)
+        if snode is not None:
+            snode.release_container(container_id)
+        self.containers.remove(container_id)
+        self._settle_release(rmc.attempt_id)
+        LOG.info("Released container {}", container_id)
+        return True
+
+    def _settle_release(self, attempt_id: ApplicationAttemptId) -> None:
+        pending = self._pending_release.get(attempt_id, 0)
+        if pending > 0:
+            self._pending_release[attempt_id] = pending - 1
+            if self._pending_release[attempt_id] == 0:
+                self._leak_since.pop(attempt_id, None)
+
+    def expect_release(self, attempt_id: ApplicationAttemptId) -> None:
+        self._pending_release[attempt_id] = self._pending_release.get(attempt_id, 0) + 1
+        self._leak_since.setdefault(attempt_id, self.cluster.loop.now)
+
+    def _audit_resources(self) -> None:
+        """Resource auditor: flags release accounting stuck for too long."""
+        now = self.cluster.loop.now
+        for attempt_id, since in list(self._leak_since.items()):
+            if self._pending_release.get(attempt_id, 0) > 0 and now - since > 6.0:
+                LOG.error(
+                    "Potential resource leak: pending release never settled for {}", attempt_id
+                )
+                self._leak_since[attempt_id] = now  # re-flag periodically, not every tick
+
+    # ------------------------------------------------------------------
+    # the scheduler
+    # ------------------------------------------------------------------
+    def get_sched_node(self, node_id: NodeId) -> Optional[SchedulerNode]:
+        # The paper's Figure 10: callers of this promoted read are the
+        # YARN-9164 crash points.
+        return self.nodes.get(node_id)
+
+    def _pick_node(self, preferred: Optional[NodeId]) -> Optional[SchedulerNode]:
+        if preferred is not None:
+            # BUG:YARN-5918 — reads a preferred node that a crash may have
+            # removed from `nodes`; the unpatched code dereferences it.
+            snode = self.get_sched_node(preferred)
+            if self.cluster.is_patched("YARN-5918"):
+                if snode is not None and snode.available_slots() > 0:
+                    return snode
+            else:
+                if snode.available_slots() > 0:  # AttributeError when removed
+                    return snode
+        candidates = [n for n in self.nodes.values() if n.available_slots() > 0]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (n.used_slots, str(n.node_id)))
+
+    def _new_container(
+        self,
+        attempt: SchedulerApplicationAttempt,
+        snode: SchedulerNode,
+        is_master: bool = False,
+    ) -> ContainerId:
+        seq = self._container_seq.get(attempt.attempt_id, 0) + 1
+        self._container_seq[attempt.attempt_id] = seq
+        container_id = ContainerId(attempt.attempt_id, seq)
+        rmc = RMContainer(container_id, snode.node_id, attempt.attempt_id, is_master=is_master)
+        self.containers.put(container_id, rmc)
+        snode.allocate(container_id)
+        attempt.container_ids.append(container_id)
+        return container_id
+
+    def _assign_pending(self) -> None:
+        for ask in list(self._pending_asks):
+            attempt = self.attempts.get(ask.attempt_id)
+            if attempt is None or attempt.sm.state != "RUNNING":
+                self._pending_asks.remove(ask)
+                continue
+            try:
+                self._assign_for_ask(ask, attempt)
+            except Exception as exc:  # noqa: BLE001 - per-app isolation
+                # The scheduler isolates per-application errors: the app
+                # fails, the RM survives (this is YARN-5918's symptom).
+                LOG.error("Error allocating for {}; failing application", ask.attempt_id, exc=exc)
+                if ask in self._pending_asks:
+                    self._pending_asks.remove(ask)
+                self._fail_app(ask.attempt_id.app, f"scheduler error: {exc}")
+            if ask.remaining <= 0 and ask in self._pending_asks:
+                self._pending_asks.remove(ask)
+
+    def _assign_for_ask(self, ask: Ask, attempt: SchedulerApplicationAttempt) -> None:
+        allocations = []
+        while ask.remaining > 0:
+            snode = self._pick_node(ask.preferred)
+            if snode is None:
+                break
+            chosen = snode.node_id
+            # BUG:YARN-9193 — the node can be removed between selection and
+            # placement; the unpatched code dereferences the second lookup.
+            placed = self.get_sched_node(chosen)
+            if self.cluster.is_patched("YARN-9193"):
+                if placed is None:
+                    continue
+            container_id = self._new_container(attempt, placed)
+            allocations.append((container_id, placed.node_id))
+            ask.remaining -= 1
+            LOG.info("Assigned container {} on host {}", container_id, placed.node_id)
+        if allocations and getattr(attempt, "am_node", None):
+            self.send(attempt.am_node, "containers_allocated", allocations=allocations)
+
+    # ------------------------------------------------------------------
+    # container acks from AM and NM
+    # ------------------------------------------------------------------
+    def on_acquire_container(self, src: str, container_id: ContainerId) -> None:
+        # BUG:YARN-9165 — node removal may have deleted the record; the
+        # unpatched code schedules (transitions) the removed container.
+        rmc = self.containers.get(container_id)
+        if self.cluster.is_patched("YARN-9165") and rmc is None:
+            LOG.warn("Acquire ack for unknown container {}", container_id)
+            return
+        rmc.sm.handle("acquired")  # AttributeError when rmc is None
+
+    def on_container_launched(self, src: str, container_id: ContainerId) -> None:
+        rmc = self.containers.get(container_id)
+        if rmc is None:
+            return
+        # BUG:YARN-8650 — a launch ack can reach a container that node
+        # removal already KILLED; the event is invalid for that state.
+        if self.cluster.is_patched("YARN-8650") and not rmc.sm.can_handle("launched"):
+            LOG.info("Ignoring launch ack for {} at {}", container_id, rmc.sm.state)
+            return
+        self._dispatch_entity_event(rmc.sm, "launched")
+
+    def on_container_finished(self, src: str, container_id: ContainerId) -> None:
+        self._complete_container(container_id)
+
+    def _complete_container(self, container_id: ContainerId) -> None:
+        rmc = self.containers.get(container_id)
+        if rmc is None:
+            return
+        self._dispatch_entity_event(rmc.sm, "finished")
+        # BUG:YARN-9164 (site 1 of 2) — Figure 10: the node may be gone.
+        node = self.get_sched_node(rmc.node_id)
+        if self.cluster.is_patched("YARN-9164"):
+            if node is not None:
+                node.release_container(container_id)
+        else:
+            node.release_container(container_id)  # AttributeError -> RM aborts
+        self.containers.remove(container_id)
+        attempt = self.attempts.get(rmc.attempt_id)
+        if attempt is not None and container_id in attempt.container_ids:
+            attempt.container_ids.remove(container_id)
+
+    # ------------------------------------------------------------------
+    # job finish (Figures 3 & 10 territory)
+    # ------------------------------------------------------------------
+    def on_task_committed(self, src: str, app_attempt_id: ApplicationAttemptId, task_id: TaskId) -> None:
+        app = self.apps.get(app_attempt_id.app)
+        if app is not None and task_id not in app.completed_tasks:
+            app.completed_tasks.append(task_id)
+
+    def on_am_unregister(
+        self, src: str, app_attempt_id: ApplicationAttemptId, final_status: str
+    ) -> None:
+        app = self.apps.get(app_attempt_id.app)
+        attempt = self.attempts.get(app_attempt_id)
+        if app is None or attempt is None:
+            return
+        LOG.info("Application {} unregistered with final status {}", app.app_id, final_status)
+        self._dispatch_entity_event(app.sm, "unregister")
+        self._dispatch_entity_event(attempt.sm, "unregister")
+        self.am_monitor.unregister(app_attempt_id)
+        app.final_status = final_status
+        self.set_timer(0.05, self._finalize_app, app.app_id)
+        self.send(src, "finish_ack", app_attempt_id=app_attempt_id)
+        # Release every container of the finished job, on each node.
+        for container_id in list(attempt.container_ids):
+            rmc = self.containers.get(container_id)
+            if rmc is None:
+                continue
+            # BUG:YARN-9164 (site 2 of 2) — the job-finish release loop.
+            node = self.get_sched_node(rmc.node_id)
+            if self.cluster.is_patched("YARN-9164"):
+                if node is None:
+                    LOG.warn("Skipping release of {} on removed node", container_id)
+                    continue
+                node.release_container(container_id)
+            else:
+                node.release_container(container_id)  # AttributeError -> RM aborts
+            self.containers.remove(container_id)
+
+    def on_job_history_flush(self, src: str, app_attempt_id: ApplicationAttemptId) -> None:
+        app = self.apps.get(app_attempt_id.app)
+        if app is None:
+            return
+        # BUG:YARN-9194 — the flush races the finalize timer; once the app
+        # is FINISHED this event is invalid for its current state.
+        if self.cluster.is_patched("YARN-9194") and not app.sm.can_handle("history_flush"):
+            LOG.info("Dropping late history flush for {}", app.app_id)
+            return
+        self._dispatch_entity_event(app.sm, "history_flush")
+
+    def _finalize_app(self, app_id: ApplicationId) -> None:
+        app = self.apps.get(app_id)
+        if app is None or app.sm.state != "FINISHING":
+            return
+        self._dispatch_entity_event(app.sm, "finalize")
+        self.completed_apps.add(app_id)
+        for snode in self.nodes.values():
+            self.send(snode.node_id.host, "cleanup_app", app_id=app_id)
+        LOG.info("Application {} finalized with state {}", app_id, app.final_status)
+        if app.client:
+            self.send(app.client, "application_finished", app_id=app_id, status=app.final_status)
+
+    def _fail_app(self, app_id: ApplicationId, reason: str) -> None:
+        app = self.apps.get(app_id)
+        if app is None or app.sm.state in ("FAILED", "FINISHED"):
+            return
+        app.sm.state = "FAILED"
+        app.final_status = "FAILED"
+        self.completed_apps.add(app_id)
+        LOG.error("Application {} failed: {}", app_id, reason)
+        if app.client:
+            self.send(app.client, "application_finished", app_id=app_id, status="FAILED")
+
+    # ------------------------------------------------------------------
+    # AM failure and recovery
+    # ------------------------------------------------------------------
+    def on_am_shutdown(self, src: str, app_attempt_id: ApplicationAttemptId) -> None:
+        LOG.info("AM for attempt {} announced shutdown", app_attempt_id)
+        self._attempt_failed(app_attempt_id, "AM shutdown")
+
+    def _on_am_expired(self, app_attempt_id: ApplicationAttemptId) -> None:
+        LOG.warn("AM for attempt {} expired", app_attempt_id)
+        self._attempt_failed(app_attempt_id, "AM liveness expired")
+
+    def _on_am_launch_expired(self, app_attempt_id: ApplicationAttemptId) -> None:
+        # Timeout issue TO-2: the stuck, never-registered attempt is only
+        # reaped here, after am_launch_expiry (10 minutes by default).
+        LOG.warn("Attempt {} never registered; expiring via launch monitor", app_attempt_id)
+        self._attempt_failed(app_attempt_id, "AM launch timeout")
+
+    def _attempt_failed(self, app_attempt_id: ApplicationAttemptId, reason: str) -> None:
+        attempt = self.attempts.get(app_attempt_id)
+        if attempt is None or attempt.sm.state in ("FAILED", "FINISHED"):
+            return
+        self._dispatch_entity_event(attempt.sm, "fail")
+        self.am_monitor.unregister(app_attempt_id)
+        self.am_launch_monitor.unregister(app_attempt_id)
+        self._recover_attempt(app_attempt_id, reason)
+
+    def _recover_attempt(self, app_attempt_id: ApplicationAttemptId, reason: str) -> None:
+        attempt = self.attempts.get(app_attempt_id)
+        if attempt is None:
+            return
+        # Kill the failed attempt's containers.
+        for container_id in list(attempt.container_ids):
+            rmc = self.containers.get(container_id)
+            if rmc is None:
+                continue
+            # BUG:YARN-9248 — node removal may have KILLED these already;
+            # re-killing is an invalid event for their current state.
+            if self.cluster.is_patched("YARN-9248") and not rmc.sm.can_handle("kill"):
+                continue
+            self._dispatch_entity_event(rmc.sm, "kill")
+        app = self.apps.get(app_attempt_id.app)
+        if app is None or app.sm.state != "RUNNING":
+            return
+        LOG.warn("Attempt {} failed ({})", app_attempt_id, reason)
+        self._dispatch_entity_event(app.sm, "attempt_failed")
+        if app.attempt_count >= self.max_attempts:
+            self._fail_app(app.app_id, f"max attempts exceeded after: {reason}")
+            return
+        self._start_new_attempt(app)
+
+    # ------------------------------------------------------------------
+    # web UI ("curl" workload leg) and helpers
+    # ------------------------------------------------------------------
+    def on_web_request(self, src: str) -> None:
+        apps = [str(a.app_id) for a in self.apps.values()]
+        node_count = len([n for n in self.nodes.values()])
+        LOG.info("Web request: {} applications, {} nodes", len(apps), node_count)
+        self.send(src, "web_response", apps=apps, nodes=node_count)
+
+    def _notify_am(self, attempt_id: ApplicationAttemptId, method: str, **payload) -> None:
+        attempt = self.attempts.get(attempt_id)
+        am_node = getattr(attempt, "am_node", None) if attempt is not None else None
+        if am_node:
+            self.send(am_node, method, **payload)
+
+    def _dispatch_entity_event(self, sm: StateMachine, event: str) -> None:
+        """Central event dispatch: invalid transitions are logged errors,
+        exactly like the real RM's 'Can't handle this event' messages."""
+        try:
+            sm.handle(event)
+        except InvalidStateTransition as exc:
+            LOG.error("Error in handling event type {} for {}", event, sm.entity, exc=exc)

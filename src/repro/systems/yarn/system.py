@@ -1,0 +1,50 @@
+"""The Hadoop2/Yarn system-under-test definition (Table 4, row 1)."""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import Cluster
+from repro.systems.base import SystemUnderTest, Workload
+from repro.systems.yarn.client import WordCountWorkload
+from repro.systems.yarn.nodemanager import NodeManager
+from repro.systems.yarn.resourcemanager import ResourceManager
+
+
+class YarnSystem(SystemUnderTest):
+    """Scale-out computing framework Hadoop2/Yarn (with MapReduce)."""
+
+    name = "yarn"
+    version = "3.3.0-SNAPSHOT"
+    workload_name = "WordCount+curl"
+
+    def __init__(self, num_nodes: int = 3):
+        self.num_nodes = num_nodes
+
+    def build(self, seed: int = 0, config: Optional[Dict[str, Any]] = None) -> Cluster:
+        cluster = Cluster("yarn", seed=seed, config=config)
+        ResourceManager(cluster, "rm")
+        for i in range(1, self.num_nodes + 1):
+            NodeManager(cluster, f"node{i}")
+        return cluster
+
+    def create_workload(self, scale: int = 1) -> Workload:
+        return WordCountWorkload(jobs=1, num_maps=4 * scale, num_reduces=1)
+
+    def source_modules(self) -> List[ModuleType]:
+        from repro.systems.yarn import (
+            appmaster,
+            client,
+            nodemanager,
+            records,
+            resourcemanager,
+        )
+
+        return [records, resourcemanager, nodemanager, appmaster, client]
+
+    def base_runtime(self) -> float:
+        # One clean WordCount run (4 maps, 1 reduce, 3 NMs) finishes in
+        # about 5 simulated seconds (2s AM spawn + task waves); keep
+        # headroom for scheduler jitter.
+        return 8.0

@@ -1,0 +1,7 @@
+"""Miniature ZooKeeper: ensemble, sessions, ephemerals, watches."""
+
+from repro.systems.zookeeper.client import SmokeTestWorkload, ZKSmokeClient
+from repro.systems.zookeeper.server import ZKServer
+from repro.systems.zookeeper.system import ZooKeeperSystem
+
+__all__ = ["SmokeTestWorkload", "ZKServer", "ZKSmokeClient", "ZooKeeperSystem"]

@@ -1,0 +1,125 @@
+"""ZooKeeper SmokeTest client and workload (Table 4, row 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster import Cluster, Node, tracked_dict
+from repro.mtlog import get_logger
+from repro.systems.base import Workload
+
+LOG = get_logger("zookeeper.client")
+
+
+class ZKSmokeClient(Node):
+    """Creates, reads and deletes znodes across the ensemble + stat polls."""
+
+    role = "client"
+    critical = False
+    exception_policy = "log"
+    default_port = 50300
+
+    op_status: Dict[str, str] = tracked_dict()  # path -> CREATED/VERIFIED/DELETED
+
+    def __init__(self, cluster, name, servers: List[str], num_znodes: int = 4, **kwargs):
+        super().__init__(cluster, name, **kwargs)
+        self.servers = servers
+        self.num_znodes = num_znodes
+        self.stat_responses = 0
+        self._retry_limit = cluster.config.get("zk.client_retries", 8)
+        self._retries: Dict[str, int] = {}
+        self._conn = 0
+
+    def _server_for(self, i: int) -> str:
+        return self.servers[i % len(self.servers)]
+
+    def _current_server(self) -> str:
+        """The client keeps one live connection, like a real ZK client; on
+        a stall it reconnects to the next server in its host list."""
+        return self.servers[self._conn % len(self.servers)]
+
+    def on_start(self) -> None:
+        for i in range(self.num_znodes):
+            path = f"/smoketest/node-{i:03d}"
+            self.op_status.put(path, "CREATING")
+            self.set_timer(0.2 + 0.05 * i, self._create, path, i)
+        self.set_timer(1.0, self._stat, periodic=1.0)
+
+    def _stat(self) -> None:
+        self.send(self._server_for(self.stat_responses), "stat_request")
+
+    def on_stat_response(self, src: str, sid: int, znode_count: int, leader: Optional[int]) -> None:
+        self.stat_responses += 1
+
+    def _create(self, path: str, i: int) -> None:
+        self.send(self._current_server(), "zk_create", path=path, data=f"v-{i}")
+        self.set_timer(2.0, self._check_progress, path, i)
+
+    def on_zk_created(self, src: str, path: str) -> None:
+        if self.op_status.get(path) == "CREATING":
+            self.op_status.put(path, "CREATED")
+            self.send(self._current_server(), "zk_get", path=path)
+
+    def on_zk_value(self, src: str, path: str, data: Optional[str]) -> None:
+        if self.op_status.get(path) != "CREATED":
+            return
+        if data is None:
+            self._retry(path, "read returned no data")
+            return
+        self.op_status.put(path, "VERIFIED")
+        self.send(self._current_server(), "zk_delete", path=path)
+
+    def on_zk_deleted(self, src: str, path: str) -> None:
+        if self.op_status.get(path) == "VERIFIED":
+            self.op_status.put(path, "DELETED")
+            LOG.info("Smoke cycle complete for {}", path)
+
+    def _check_progress(self, path: str, i: int) -> None:
+        if self.op_status.get(path) != "DELETED":
+            self._retry(path, "operation stalled")
+
+    def _retry(self, path: str, why: str) -> None:
+        if self.op_status.get(path) == "DELETED":
+            return
+        retries = self._retries.get(path, 0) + 1
+        self._retries[path] = retries
+        if retries > self._retry_limit:
+            self.op_status.put(path, "FAILED")
+            LOG.error("Smoke cycle failed for {}: {}", path, why)
+            return
+        LOG.warn("Retrying smoke cycle for {} ({}); reconnecting", path, why)
+        self._conn += 1
+        i = int(path.rsplit("-", 1)[1])
+        self.op_status.put(path, "CREATING")
+        self._create(path, i)
+
+
+class SmokeTestWorkload(Workload):
+    """SmokeTest + curl: the ZooKeeper row of Table 4."""
+
+    name = "SmokeTest+curl"
+
+    def __init__(self, num_znodes: int = 4, servers: Optional[List[str]] = None):
+        self.num_znodes = num_znodes
+        self.servers = servers or ["zk1", "zk2", "zk3"]
+        self._client: Optional[ZKSmokeClient] = None
+
+    def install(self, cluster: Cluster) -> None:
+        self._client = ZKSmokeClient(cluster, "client", servers=self.servers,
+                                     num_znodes=self.num_znodes)
+
+    def _statuses(self) -> Dict[str, str]:
+        assert self._client is not None
+        return self._client.op_status.snapshot()
+
+    def finished(self, cluster: Cluster) -> bool:
+        statuses = self._statuses()
+        if len(statuses) < self.num_znodes:
+            return False
+        return all(s in ("DELETED", "FAILED") for s in statuses.values())
+
+    def succeeded(self, cluster: Cluster) -> bool:
+        return self.finished(cluster) and all(s == "DELETED" for s in self._statuses().values())
+
+    def failures(self, cluster: Cluster) -> List[str]:
+        return [f"{p}: {s}" for p, s in sorted(self._statuses().items()) if s != "DELETED"]

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.bugs import matcher_for_system
+from repro.cluster.state import BUS
+from repro.core.analysis import analyze_system
+from repro.core.injection import build_baseline, run_one_injection
+from repro.core.profiler import profile_system
+from repro.systems import get_system
+
+_CACHE: Dict[Tuple[str, Any], Tuple] = {}
+
+
+def _config_key(config: Optional[Dict[str, Any]]) -> Any:
+    if not config:
+        return None
+    return tuple(sorted((k, tuple(sorted(v)) if isinstance(v, (set, frozenset)) else v)
+                        for k, v in config.items()))
+
+
+def prepared(system_name: str, config: Optional[Dict[str, Any]] = None):
+    """(system, analysis, profile, baseline) for a config, cached per session."""
+    key = (system_name, _config_key(config))
+    if key not in _CACHE:
+        system = get_system(system_name)
+        analysis = analyze_system(system, config=config)
+        profile = profile_system(system, analysis, config=config)
+        baseline = build_baseline(system, config=config)
+        _CACHE[key] = (system, analysis, profile, baseline)
+    return _CACHE[key]
+
+
+def find_dpoints(profile, enclosing_frag: str, field: Optional[str] = None,
+                 op: Optional[str] = None, via: Optional[str] = None):
+    out = []
+    for dpoint in profile.dynamic_points:
+        point = dpoint.point
+        if enclosing_frag not in point.enclosing:
+            continue
+        if field is not None and point.field_name != field:
+            continue
+        if op is not None and point.op != op:
+            continue
+        if via is not None and point.via != via:
+            continue
+        out.append(dpoint)
+    return out
+
+
+def inject_at(
+    system_name: str,
+    enclosing_frag: str,
+    field: Optional[str] = None,
+    op: Optional[str] = None,
+    via: Optional[str] = None,
+    config: Optional[Dict[str, Any]] = None,
+    classify_timeouts: bool = True,
+):
+    """Run one CrashTuner injection at the (unique) matching dynamic point."""
+    system, analysis, profile, baseline = prepared(system_name, config)
+    dpoints = find_dpoints(profile, enclosing_frag, field=field, op=op, via=via)
+    assert dpoints, f"no dynamic crash point matching {enclosing_frag}/{field}/{op}"
+    return run_one_injection(
+        system, analysis, dpoints[0], baseline, config=config,
+        classify_timeouts=classify_timeouts, matcher=matcher_for_system(system_name),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_access_bus():
+    """No test may leak hooks into the global bus."""
+    yield
+    assert not BUS.enabled, "a test leaked access-bus hooks"
+    BUS.reset()

@@ -1,0 +1,100 @@
+"""Unit tests for logging-statement extraction and pattern matching."""
+
+import pytest
+
+from repro.core.analysis import (
+    PatternIndex,
+    find_logging_statements,
+    load_sources,
+    pattern_for,
+)
+from repro.core.analysis.logging_statements import LogStatement
+from tests import toysys
+
+
+@pytest.fixture(scope="module")
+def statements():
+    return find_logging_statements(load_sources([toysys]))
+
+
+def test_all_logging_statements_found(statements):
+    templates = {s.template for s in statements}
+    assert "Worker from {} registered as {}" in templates
+    assert "Assigned task {} to worker {}" in templates
+    assert "peek {}" in templates
+
+
+def test_statement_captures_arg_source_text(statements):
+    stmt = next(s for s in statements if s.template.startswith("Worker from"))
+    assert stmt.arg_sources == ("node_id.host", "node_id")
+    assert stmt.level == "info"
+    assert stmt.module == toysys.__name__
+
+
+def test_statement_levels_detected(statements):
+    assert {s.level for s in statements} == {"info", "debug"}
+
+
+def test_pattern_regex_matches_figure5_shape():
+    stmt = LogStatement("m", 1, "info", "Assigned container {} on host {}", ("c", "n"))
+    pattern = pattern_for(stmt)
+    values = pattern.match("Assigned container container_1_01_000003 on host node3:42349")
+    assert values == ("container_1_01_000003", "node3:42349")
+
+
+def test_pattern_rejects_other_messages():
+    stmt = LogStatement("m", 1, "info", "Assigned container {} on host {}", ("c", "n"))
+    assert pattern_for(stmt).match("NodeManager from node1 registered") is None
+
+
+def test_pattern_with_no_placeholders():
+    stmt = LogStatement("m", 1, "info", "Master started", ())
+    pattern = pattern_for(stmt)
+    assert pattern.num_slots == 0
+    assert pattern.match("Master started") == ()
+
+
+def test_pattern_escapes_regex_metacharacters():
+    stmt = LogStatement("m", 1, "info", "cost (us): {}", ("t",))
+    assert pattern_for(stmt).match("cost (us): 12") == ("12",)
+
+
+def test_index_reverse_lookup_finds_right_pattern(statements):
+    index = PatternIndex.from_statements(statements)
+    hit = index.match("Worker from node3 registered as node3:42349")
+    assert hit is not None
+    pattern, values = hit
+    assert pattern.template == "Worker from {} registered as {}"
+    assert values == ("node3", "node3:42349")
+
+
+def test_index_returns_none_for_foreign_instance(statements):
+    index = PatternIndex.from_statements(statements)
+    assert index.match("A message produced by some other system") is None
+
+
+def test_index_candidates_ranked_by_token_overlap(statements):
+    index = PatternIndex.from_statements(statements)
+    candidates = index.candidates("Assigned task task_1 to worker node1:7100")
+    assert candidates
+    assert candidates[0].template == "Assigned task {} to worker {}"
+
+
+def test_index_candidates_capped_at_ten():
+    stmts = [
+        LogStatement("m", i, "info", f"common prefix variant {i} value {{}}", ("x",))
+        for i in range(25)
+    ]
+    index = PatternIndex.from_statements(stmts)
+    assert len(index.candidates("common prefix variant 3 value 9")) <= 10
+
+
+def test_ambiguous_instances_resolved_by_exact_match():
+    stmts = [
+        LogStatement("m", 1, "info", "state {} moved", ("a",)),
+        LogStatement("m", 2, "info", "state {} moved to {}", ("a", "b")),
+    ]
+    index = PatternIndex.from_statements(stmts)
+    pattern, values = index.match("state s1 moved to s2")
+    assert pattern.statement.lineno == 2
+    assert values == ("s1", "s2")

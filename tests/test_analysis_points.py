@@ -1,0 +1,165 @@
+"""Unit tests for static crash points, Table 3 keywords, and optimizations."""
+
+import pytest
+
+from repro.core.analysis import (
+    READ_KEYWORDS,
+    WRITE_KEYWORDS,
+    collection_op_kind,
+    compute_crash_points,
+    extract_access_points,
+    load_sources,
+)
+from repro.core.analysis.types import TypeModel
+from repro.core.analysis.static_points import MetaInfoTypes
+from tests import toysys
+
+
+# ---------------------------------------------------------------------------
+# Table 3 keyword matching
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name,expected", [
+    ("get", "read"),
+    ("contains", "read"),       # "contain"
+    ("is_empty", "read"),       # "isEmpty"
+    ("values", "read"),
+    ("toArray", "read"),
+    ("peek", "read"),
+    ("put", "write"),
+    ("add", "write"),
+    ("remove", "write"),
+    ("clear", "write"),
+    ("replace", "write"),
+    ("copy_into", "write"),     # "copyInto"
+    ("push", "write"),
+    ("size", None),             # matches no Table 3 keyword
+    ("snapshot", None),
+    ("keys", None),
+])
+def test_collection_op_kind(name, expected):
+    assert collection_op_kind(name) == expected
+
+
+def test_keyword_lists_match_table3():
+    assert set(READ_KEYWORDS) == {
+        "get", "peek", "poll", "clone", "at", "element", "index",
+        "toArray", "sub", "contain", "isEmpty", "exist", "values",
+    }
+    assert set(WRITE_KEYWORDS) == {
+        "add", "clear", "remove", "retain", "put", "insert", "set",
+        "replace", "offer", "push", "pop", "copyInto",
+    }
+
+
+# ---------------------------------------------------------------------------
+# crash points on the toy system, with a hand-specified meta universe
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def extraction_and_model():
+    from repro.cluster import ids
+
+    sources = load_sources([toysys, ids])
+    model = TypeModel.build(sources)
+    return extract_access_points(model, sources), model
+
+
+def meta_universe():
+    return MetaInfoTypes(
+        logged_types={"NodeId", "TaskId"},
+        types={"NodeId", "TaskId", "WorkerRecord"},
+        fields={
+            ("ToyMaster", "workers"),
+            ("ToyMaster", "tasks"),
+            ("ToyMaster", "last_worker"),
+            ("WorkerRecord", "node_id"),
+        },
+        logged_base_fields=set(),
+    )
+
+
+def test_access_points_include_collection_ops_and_putfield(extraction_and_model):
+    extraction, _ = extraction_and_model
+    vias = {(p.field_name, p.via) for p in extraction.points}
+    assert ("workers", "put") in vias
+    assert ("workers", "get") in vias
+    assert ("tasks", "put") in vias
+    assert ("last_worker", "putfield") in vias
+
+
+def test_crash_points_computed_with_optimizations(extraction_and_model):
+    extraction, model = extraction_and_model
+    result = compute_crash_points(model, extraction, meta_universe())
+    enclosings = {(p.enclosing, p.op) for p in result.crash_points}
+    # the put in on_register and on_assign survive
+    assert ("ToyMaster.on_register", "write") in enclosings
+    assert ("ToyMaster.on_assign", "write") in enclosings
+
+
+def test_return_only_read_promoted_to_unchecked_call_site(extraction_and_model):
+    extraction, model = extraction_and_model
+    result = compute_crash_points(model, extraction, meta_universe())
+    promoted = [p for p in result.crash_points if p.promoted]
+    assert any(p.enclosing == "ToyMaster.on_use" for p in promoted)
+    # the checked call site is pruned (sanity), the logging-only one too
+    assert not any(p.enclosing == "ToyMaster.on_checked_use" for p in promoted)
+    assert result.pruned_sanity >= 1
+
+
+def test_logging_only_read_pruned_as_unused(extraction_and_model):
+    extraction, model = extraction_and_model
+    result = compute_crash_points(model, extraction, meta_universe())
+    assert not any(p.enclosing == "ToyMaster.on_peek" for p in result.crash_points)
+    assert result.pruned_unused >= 1
+
+
+def test_constructor_only_ref_reads_pruned(extraction_and_model):
+    extraction, model = extraction_and_model
+    result = compute_crash_points(model, extraction, meta_universe())
+    assert not any(
+        p.field_name == "node_id" and p.via in ("getfield", "putfield")
+        for p in result.crash_points
+    )
+    assert result.pruned_constructor >= 1
+
+
+def test_non_meta_fields_never_crash_points(extraction_and_model):
+    extraction, model = extraction_and_model
+    result = compute_crash_points(model, extraction, meta_universe())
+    assert not any(p.field_name == "counter" for p in result.crash_points)
+
+
+def test_patched_guard_counts_as_check_only_when_patched():
+    """A sanity check behind cluster.is_patched('X') exists only in builds
+    where X is patched — mirroring conditional compilation of the fix."""
+    import textwrap
+    import ast as ast_mod
+    from repro.core.analysis.logging_statements import ModuleSource
+    import types as types_mod
+
+    code = textwrap.dedent('''
+        from typing import Dict, Optional
+        from repro.cluster import Node, tracked_dict
+        from repro.cluster.ids import NodeId
+
+        class M(Node):
+            d: Dict[NodeId, str] = tracked_dict()
+
+            def on_x(self, src, k: NodeId):
+                v = self.d.get(k)
+                if self.cluster.is_patched("BUG-1") and v is None:
+                    return
+                return len(v)
+    ''')
+    mod = types_mod.ModuleType("fakemod")
+    src = ModuleSource(module=mod, name="fakemod", source=code,
+                       tree=ast_mod.parse(code))
+    from repro.cluster import ids
+
+    sources = [src] + load_sources([ids])
+    model = TypeModel.build(sources)
+    unpatched = extract_access_points(model, sources, patched=frozenset())
+    patched = extract_access_points(model, sources, patched=frozenset({"BUG-1"}))
+    get_un = next(p for p in unpatched.points if p.via == "get")
+    get_pa = next(p for p in patched.points if p.via == "get")
+    assert not get_un.sanity_checked
+    assert get_pa.sanity_checked

@@ -1,0 +1,197 @@
+"""Unit tests for the type model, meta-info graph, and Definition 2."""
+
+import pytest
+
+from repro.core.analysis import (
+    analyze_logs,
+    extract_access_points,
+    find_logging_statements,
+    host_in_value,
+    infer_meta_info,
+    load_sources,
+    PatternIndex,
+)
+from repro.core.analysis.meta_graph import MetaInfoGraph
+from repro.core.analysis.types import ExprTyper, TypeModel, TypeRef
+from repro.systems import get_system, run_workload
+from tests import toysys
+
+
+@pytest.fixture(scope="module")
+def sources():
+    from repro.cluster import ids
+
+    return load_sources([toysys, ids])
+
+
+@pytest.fixture(scope="module")
+def model(sources):
+    return TypeModel.build(sources)
+
+
+# ---------------------------------------------------------------------------
+# TypeModel
+# ---------------------------------------------------------------------------
+def test_classes_discovered(model):
+    assert "ToyMaster" in model.classes
+    assert "WorkerRecord" in model.classes
+    assert "NodeId" in model.classes  # from the shared id-records library
+
+
+def test_collection_field_types_parsed(model):
+    field = model.classes["ToyMaster"].fields["workers"]
+    assert field.kind == "collection"
+    assert str(field.type) == "Dict[NodeId, WorkerRecord]"
+
+
+def test_tracked_ref_field_parsed(model):
+    field = model.classes["ToyMaster"].fields["last_worker"]
+    assert field.kind == "ref"
+    assert str(field.type) == "Optional[NodeId]"
+
+
+def test_ctor_param_assignment_infers_field_type(model):
+    field = model.classes["WorkerRecord"].fields["node_id"]
+    assert field.type == TypeRef("NodeId")
+    assert field.constructor_only()
+
+
+def test_field_assigned_in_other_methods_not_ctor_only(model):
+    field = model.classes["ToyMaster"].fields["last_worker"]
+    assert not field.constructor_only()  # written in on_register
+
+
+def test_subtypes_and_context(model):
+    assert "ToyMaster" in model.subtypes_of("Node")
+    cls, method = model.context_of(toysys.__name__,
+                                   model.classes["ToyMaster"].methods["on_use"].lineno + 1)
+    assert cls.name == "ToyMaster"
+    assert method.name == "on_use"
+
+
+def test_expr_typer_resolves_params_fields_and_calls(model):
+    cls = model.classes["ToyMaster"]
+    method = cls.methods["on_use"]
+    typer = ExprTyper(model, cls, method)
+    import ast
+
+    assert typer.type_of(ast.parse("node_id", mode="eval").body) == TypeRef("NodeId")
+    assert typer.type_of(ast.parse("self", mode="eval").body) == TypeRef("ToyMaster")
+    got = typer.type_of(ast.parse("self.lookup_worker(node_id)", mode="eval").body)
+    assert got == TypeRef("Optional", (TypeRef("WorkerRecord"),))
+    # the local assigned from the call
+    assert typer.type_of(ast.parse("record", mode="eval").body) is not None
+    assert typer.type_of(ast.parse("str(node_id)", mode="eval").body) == TypeRef("str")
+
+
+def test_typeref_leaves_see_through_wrappers():
+    t = TypeRef("Dict", (TypeRef("NodeId"), TypeRef("Optional", (TypeRef("Rec"),))))
+    assert [l.name for l in t.leaves()] == ["NodeId", "Rec"]
+
+
+# ---------------------------------------------------------------------------
+# host matching and the meta-info graph
+# ---------------------------------------------------------------------------
+HOSTS = ["node1", "node2", "node3", "nn", "rm"]
+
+
+def test_host_in_value_word_boundaries():
+    assert host_in_value("node1:42349", HOSTS) == "node1"
+    assert host_in_value("prefix node2 suffix", HOSTS) == "node2"
+    assert host_in_value("node10:42349", HOSTS) is None
+    assert host_in_value("alarm", HOSTS) is None
+
+
+def test_host_in_value_prefers_host_port_form():
+    # a BPOfferService-style value naming both the NN and the DN address
+    value = "Block pool BP-1-nn-1559000000 service to node1:9866"
+    assert host_in_value(value, HOSTS) == "node1"
+
+
+def test_graph_relates_cooccurring_values():
+    graph = MetaInfoGraph(HOSTS)
+    graph.add_instance(["node3:42349", "container_3"])
+    graph.add_instance(["container_3", "attempt_3"])
+    graph.finalize()
+    assert graph.node_of("container_3") == "node3"
+    assert graph.node_of("attempt_3") == "node3"  # transitive, Figure 5(d)
+    assert graph.is_meta_value("attempt_3")
+
+
+def test_graph_discards_unrelated_values():
+    graph = MetaInfoGraph(HOSTS)
+    graph.add_instance(["loose_value_a", "loose_value_b"])
+    graph.finalize()
+    assert not graph.is_meta_value("loose_value_a")
+    assert graph.node_of("loose_value_a") is None
+
+
+def test_graph_dot_rendering_mentions_values():
+    graph = MetaInfoGraph(HOSTS)
+    graph.add_instance(["node1:42349", "container_9"])
+    graph.finalize()
+    dot = graph.to_dot()
+    assert '"node1:42349"' in dot and '"container_9"' in dot
+
+
+# ---------------------------------------------------------------------------
+# Definition 2 on the toy system (end-to-end through real logs)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def toy_analysis(sources, model):
+    from repro.cluster import Cluster
+    from repro.cluster.ids import NodeId, TaskId, CLUSTER_TIMESTAMP, JobId, ApplicationId
+
+    cluster = Cluster("toy")
+    with cluster:
+        master = toysys.ToyMaster(cluster, "master")
+        worker = toysys.ToyMaster(cluster, "node1", port=7101)
+        cluster.start_all()
+        nid = NodeId("node1", 7100)
+        task = TaskId(JobId(ApplicationId(CLUSTER_TIMESTAMP, 1)), "m", 1)
+        master.on_register("node1", nid)
+        master.on_assign("node1", task, nid)
+        master.on_use("node1", nid)
+        master.on_checked_use("node1", nid)
+        master.on_peek("node1", nid)
+        cluster.run()
+        records = cluster.log_collector.records
+    statements = find_logging_statements(sources)
+    index = PatternIndex.from_statements(statements)
+    log_result = analyze_logs(records, index, ["master", "node1"])
+    extraction = extract_access_points(model, sources)
+    meta = infer_meta_info(model, log_result, statements, extraction)
+    return log_result, extraction, meta
+
+
+def test_node_referencing_values_found(toy_analysis):
+    log_result, _, _ = toy_analysis
+    assert "node1:7100" in log_result.graph.node_values
+
+
+def test_logged_types_seeded(toy_analysis):
+    _, _, meta = toy_analysis
+    assert "NodeId" in meta.logged_types
+    assert "TaskId" in meta.logged_types
+
+
+def test_containing_class_rule_derives_worker_record(toy_analysis):
+    _, _, meta = toy_analysis
+    assert "WorkerRecord" in meta.types  # ctor-only NodeId field
+
+
+def test_unrelated_class_stays_non_meta(toy_analysis):
+    _, _, meta = toy_analysis
+    assert "UnrelatedRecord" not in meta.types
+
+
+def test_base_typed_field_not_meta(toy_analysis):
+    _, _, meta = toy_analysis
+    assert ("ToyMaster", "counter") not in meta.fields
+
+
+def test_meta_fields_include_collections_and_refs(toy_analysis):
+    _, _, meta = toy_analysis
+    assert ("ToyMaster", "workers") in meta.fields
+    assert ("ToyMaster", "tasks") in meta.fields
+    assert ("ToyMaster", "last_worker") in meta.fields

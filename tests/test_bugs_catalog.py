@@ -1,0 +1,121 @@
+"""Integrity tests for the bug catalog against the paper's tables."""
+
+from collections import Counter
+
+from repro.bugs import (
+    ALL_BUGS,
+    KUBERNETES_BUGS,
+    NEW_BUGS,
+    NON_TIMING_SENSITIVE,
+    PAPER_NOT_REPRODUCED,
+    STUDIED_BUGS,
+    TABLE6_CREB,
+    TABLE6_NEW,
+    TIMEOUT_ISSUES,
+    all_patched_config,
+    bugs_for_system,
+    get_bug,
+    seeded_bugs,
+)
+
+
+def test_table1_has_52_timing_sensitive_bugs():
+    assert len(STUDIED_BUGS) == 52
+
+
+def test_table1_per_system_counts():
+    counts = Counter(b.system for b in STUDIED_BUGS)
+    assert counts == {"yarn": 17, "hdfs": 7, "hbase": 27, "zookeeper": 1}
+
+
+def test_table1_hregionserver_cluster_is_fifteen():
+    hrs = [b for b in STUDIED_BUGS if b.meta_info == "HRegionServer"]
+    assert len(hrs) == 15
+
+
+def test_section2_accounting():
+    # 116 database bugs - 34 multi-crash - 16 IO = 66; 66 - 14 = 52
+    assert NON_TIMING_SENSITIVE == 14
+    assert len(STUDIED_BUGS) + NON_TIMING_SENSITIVE == 66
+
+
+def test_table5_has_18_issues_21_bugs():
+    assert len(NEW_BUGS) == 18
+    assert sum(b.bug_count for b in NEW_BUGS) == 21
+
+
+def test_table5_critical_count_is_8():
+    criticals = [b for b in NEW_BUGS if b.priority == "Critical"]
+    assert sum(b.bug_count for b in criticals) == 8
+
+
+def test_table5_fixed_count_is_16():
+    fixed = [b for b in NEW_BUGS if b.status.lower() == "fixed"]
+    assert sum(b.bug_count for b in fixed) == 16
+
+
+def test_table5_scenario_split():
+    pre = sum(b.bug_count for b in NEW_BUGS if b.scenario == "pre-read")
+    post = sum(b.bug_count for b in NEW_BUGS if b.scenario == "post-write")
+    assert pre + post == 21
+    assert post == 4  # HBASE-22041, HBASE-21740, MR-7178, HBASE-22023
+
+
+def test_every_new_bug_is_seeded_with_matcher():
+    for bug in NEW_BUGS:
+        assert bug.seeded, bug.id
+        assert bug.matcher is not None, bug.id
+
+
+def test_table6_fix_complexity_values():
+    assert TABLE6_CREB.days_to_fix == 92.0
+    assert TABLE6_NEW.days_to_fix == 16.8
+    assert TABLE6_NEW.loc_of_patch == 114.8
+    assert TABLE6_CREB.comments == 26.0
+
+
+def test_table13_kubernetes_counts():
+    assert len(KUBERNETES_BUGS) == 14
+    counts = Counter(b.meta_info for b in KUBERNETES_BUGS)
+    assert counts == {"Node": 8, "Pod": 6}
+
+
+def test_timeout_issues_catalogued():
+    assert {b.id for b in TIMEOUT_ISSUES} == {"TO-YARN-1", "TO-YARN-2", "TO-HBASE-1"}
+
+
+def test_paper_not_reproduced_set_is_seven():
+    assert len(PAPER_NOT_REPRODUCED) == 7
+    for bug_id in PAPER_NOT_REPRODUCED:
+        assert get_bug(bug_id).notes  # each carries its reason
+
+
+def test_bug_ids_unique():
+    ids = [b.id for b in ALL_BUGS]
+    assert len(ids) == len(set(ids))
+
+
+def test_lookup_helpers():
+    assert get_bug("YARN-9238").priority == "Critical"
+    assert all(b.system == "hdfs" for b in bugs_for_system("hdfs"))
+    assert all(b.source == "new" for b in bugs_for_system("yarn", source="new"))
+    assert all(b.seeded for b in seeded_bugs())
+    assert seeded_bugs("cassandra")
+
+
+def test_all_patched_config_covers_every_seeded_flag():
+    patched = all_patched_config()["patched_bugs"]
+    for bug in seeded_bugs():
+        assert bug.flag in patched
+
+
+def test_matchers_require_system_match():
+    from repro.bugs import match_bugs
+    from repro.core.injection.oracles import OracleVerdict
+    from repro.systems.base import RunReport
+
+    report = RunReport(system="hdfs", seed=0, completed=True, succeeded=False,
+                       duration=1.0, deadline=4.0, wall_seconds=0.0)
+    verdict = OracleVerdict(job_failure=True, hang=False, timeout_issue=False)
+    hits = match_bugs(report, verdict)
+    assert all(get_bug(h).system == "hdfs" for h in hits)

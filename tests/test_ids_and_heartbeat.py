@@ -1,0 +1,166 @@
+"""Unit tests for meta-info id rendering and the liveness helpers."""
+
+from repro.cluster import Cluster, HeartbeatSender, LivenessMonitor, Node
+from repro.cluster.ids import (
+    CLUSTER_TIMESTAMP,
+    ApplicationAttemptId,
+    ApplicationId,
+    BlockId,
+    BlockPoolId,
+    ContainerId,
+    DatanodeInfo,
+    InetAddressAndPort,
+    JobId,
+    JvmId,
+    KubeNodeName,
+    NodeId,
+    PodId,
+    RegionInfo,
+    ServerName,
+    TaskAttemptId,
+    TaskId,
+    TokenRange,
+    ZNodePath,
+)
+
+
+def test_id_wire_formats_match_real_systems():
+    app = ApplicationId(CLUSTER_TIMESTAMP, 1)
+    attempt = ApplicationAttemptId(app, 1)
+    job = JobId(app)
+    task = TaskId(job, "m", 3)
+    ta = TaskAttemptId(task, 0)
+    assert str(NodeId("node3", 42349)) == "node3:42349"
+    assert str(app) == "application_1559000000_0001"
+    assert str(job) == "job_1559000000_0001"
+    assert str(attempt) == "appattempt_1559000000_0001_000001"
+    assert str(ContainerId(attempt, 3)) == "container_1559000000_0001_01_000003"
+    assert str(task) == "task_1559000000_0001_m_000003"
+    assert str(ta) == "attempt_1559000000_0001_m_000003_0"
+    assert str(JvmId(job, "m", 4)) == "jvm_1559000000_0001_m_000004"
+
+
+def test_hdfs_hbase_cassandra_kube_ids():
+    assert str(BlockId(1073741825)) == "blk_1073741825"
+    info = DatanodeInfo(NodeId("node2", 9866), "DS-1")
+    assert "node2:9866" in str(info)
+    assert str(BlockPoolId(1, "nn")).startswith("BP-1-nn-")
+    sn = ServerName("node2", 16020, CLUSTER_TIMESTAMP)
+    assert str(sn) == "node2,16020,1559000000"
+    assert sn.address == "node2:16020"
+    assert str(RegionInfo("usertable", "row01", 1)) == "usertable,row01,1"
+    assert str(ZNodePath("/hbase").child("rs")) == "/hbase/rs"
+    assert str(InetAddressAndPort("node1", 7000)) == "node1:7000"
+    assert str(TokenRange(5, 10)) == "(5,10]"
+    assert str(KubeNodeName("node1")) == "node1"
+    assert str(PodId("default", "web-0")) == "default/web-0"
+
+
+def test_ids_are_hashable_value_types():
+    app = ApplicationId(CLUSTER_TIMESTAMP, 1)
+    assert ApplicationId(CLUSTER_TIMESTAMP, 1) == app
+    assert len({app, ApplicationId(CLUSTER_TIMESTAMP, 1)}) == 1
+    assert app != ApplicationId(CLUSTER_TIMESTAMP, 2)
+
+
+# ---------------------------------------------------------------------------
+# liveness
+# ---------------------------------------------------------------------------
+class Master(Node):
+    role = "m"
+    exception_policy = "log"
+
+    def __init__(self, cluster, name, **kw):
+        super().__init__(cluster, name, **kw)
+        self.expired = []
+        self.monitor = LivenessMonitor(self, expiry=1.0, interval=0.25,
+                                       on_expire=self.expired.append)
+
+    def on_start(self):
+        self.monitor.start()
+
+    def on_hb(self, src, key):
+        self.monitor.ping(key)
+
+
+class Worker(Node):
+    role = "w"
+    exception_policy = "log"
+
+    def __init__(self, cluster, name, master="m", **kw):
+        super().__init__(cluster, name, **kw)
+        self.hb = HeartbeatSender(self, master, "hb", 0.2,
+                                  payload=lambda: {"key": self.name})
+
+    def on_start(self):
+        self.hb.start()
+
+
+def test_heartbeats_keep_entity_alive():
+    c = Cluster("t")
+    with c:
+        m = Master(c, "m")
+        w = Worker(c, "w")
+        c.start_all()
+        m.monitor.register("w")
+        c.run(until=3.0)
+        assert m.expired == []
+
+
+def test_silent_entity_expires_once():
+    c = Cluster("t")
+    with c:
+        m = Master(c, "m")
+        c.start_all()
+        m.monitor.register("ghost")
+        c.run(until=3.0)
+        assert m.expired == ["ghost"]
+
+
+def test_crashed_worker_expires_after_timeout():
+    c = Cluster("t")
+    with c:
+        m = Master(c, "m")
+        w = Worker(c, "w")
+        c.start_all()
+        m.monitor.register("w")
+        c.run(until=1.0)
+        c.crash("w")
+        c.run(until=1.4)
+        assert m.expired == []  # not yet: inside the expiry window
+        c.run(until=4.0)
+        assert m.expired == ["w"]
+
+
+def test_unregister_prevents_expiry():
+    c = Cluster("t")
+    with c:
+        m = Master(c, "m")
+        c.start_all()
+        m.monitor.register("x")
+        m.monitor.unregister("x")
+        c.run(until=3.0)
+        assert m.expired == []
+
+
+def test_ping_for_unknown_key_ignored():
+    c = Cluster("t")
+    with c:
+        m = Master(c, "m")
+        c.start_all()
+        m.monitor.ping("never-registered")
+        c.run(until=2.0)
+        assert m.monitor.tracked() == []
+
+
+def test_heartbeat_stops_when_sender_dies():
+    c = Cluster("t")
+    with c:
+        m = Master(c, "m")
+        w = Worker(c, "w")
+        c.start_all()
+        m.monitor.register("w")
+        c.run(until=0.5)
+        w.begin_shutdown()
+        c.run(until=4.0)
+        assert m.expired == ["w"]

@@ -1,0 +1,183 @@
+"""Unit tests for the logging substrate and the simulated IO streams."""
+
+import pytest
+
+from repro.cluster import Cluster, Node
+from repro.cluster.io import (
+    IO_BUS,
+    CorruptStreamError,
+    FileInputStream,
+    FileOutputStream,
+    SimDisk,
+)
+from repro.mtlog import LogRecord, get_logger, level_rank, render
+
+LOG = get_logger("tests.mtlog")
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def test_render_substitutes_in_order():
+    assert render("a {} c {}", ("b", "d")) == "a b c d"
+
+
+def test_render_no_placeholders():
+    assert render("plain", ()) == "plain"
+
+
+def test_render_extra_placeholder_left_visible():
+    assert render("x {} y {}", ("1",)) == "x 1 y {}"
+
+
+def test_render_extra_args_appended():
+    assert render("x {}", ("1", "2")) == "x 1 2"
+
+
+def test_level_rank_ordering():
+    assert level_rank("trace") < level_rank("debug") < level_rank("info")
+    assert level_rank("warn") < level_rank("error") < level_rank("fatal")
+
+
+# ---------------------------------------------------------------------------
+# collection
+# ---------------------------------------------------------------------------
+class Talker(Node):
+    role = "talker"
+    exception_policy = "log"
+
+    def on_say(self, src, what):
+        LOG.info("{} says {}", self.name, what)
+
+
+def test_records_capture_template_args_and_node():
+    c = Cluster("t")
+    with c:
+        a = Talker(c, "a")
+        b = Talker(c, "b")
+        c.start_all()
+        a.send("b", "say", what="hello")
+        c.run()
+        records = [r for r in c.log_collector.records if r.component == "tests.mtlog"]
+    assert len(records) == 1
+    record = records[0]
+    assert record.template == "{} says {}"
+    assert record.args == ("b", "hello")
+    assert record.message == "b says hello"
+    assert record.node == "b"
+    assert record.location[0] == __name__
+
+
+def test_logging_outside_simulation_is_noop():
+    LOG.info("nobody is listening {}", 1)  # must not raise
+
+
+def test_collector_by_node_and_grep():
+    c = Cluster("t")
+    with c:
+        a = Talker(c, "a")
+        b = Talker(c, "b")
+        c.start_all()
+        a.send("b", "say", what="needle")
+        c.run()
+        assert c.log_collector.grep("needle")
+        assert any(r.node == "b" for r in c.log_collector.by_node["b"])
+
+
+def test_collector_subscribers_see_live_records():
+    c = Cluster("t")
+    seen = []
+    c.log_collector.subscribe(seen.append)
+    with c:
+        a = Talker(c, "a")
+        c.start_all()
+    assert seen  # lifecycle records flowed through
+
+
+def test_error_records_and_signature():
+    c = Cluster("t")
+    with c:
+        a = Talker(c, "a")
+        a.start()
+        try:
+            raise ValueError("oops")
+        except ValueError as exc:
+            from repro import runtime
+            runtime.push_node("a")
+            LOG.error("failed doing {}", "thing", exc=exc)
+            runtime.pop_node()
+        errors = c.log_collector.errors()
+    assert len(errors) == 1
+    sig = errors[0].signature()
+    assert sig[1] == "error"
+    assert sig[3] == "ValueError"
+    assert "ValueError: oops" in str(errors[0])
+
+
+def test_signature_ignores_runtime_values():
+    r1 = LogRecord(1.0, "n1", "c", "error", "x {}", ("1",), "x 1", ("m", 1))
+    r2 = LogRecord(9.0, "n2", "c", "error", "x {}", ("2",), "x 2", ("m", 1))
+    assert r1.signature() == r2.signature()
+
+
+# ---------------------------------------------------------------------------
+# IO streams
+# ---------------------------------------------------------------------------
+def test_write_then_read_roundtrip():
+    disk = SimDisk()
+    out = FileOutputStream(disk, "/f")
+    out.write("a")
+    out.write("b")
+    out.flush()
+    out.close()
+    stream = FileInputStream(disk, "/f")
+    assert stream.read_all() == ["a", "b"]
+    stream.close()
+    assert stream.closed
+
+
+def test_unflushed_tail_is_corrupt_after_crash():
+    disk = SimDisk()
+    out = FileOutputStream(disk, "/f")
+    out.write("a")
+    out.flush()
+    out.write("b")  # never flushed
+    disk.truncate_open_files()  # the machine crashed
+    stream = FileInputStream(disk, "/f")
+    assert stream.read() == "a"
+    assert stream.read() == "b"
+    with pytest.raises(CorruptStreamError):
+        stream.read()
+
+
+def test_missing_file_read_raises():
+    with pytest.raises(CorruptStreamError):
+        FileInputStream(SimDisk(), "/nope").read()
+
+
+def test_io_bus_emits_events_with_locations():
+    IO_BUS.reset()
+    events = []
+    IO_BUS.add_hook(events.append)
+    try:
+        disk = SimDisk()
+        out = FileOutputStream(disk, "/f")
+        out.write("x")
+        out.flush()
+        out.close()
+    finally:
+        IO_BUS.reset()
+    before = [e.method for e in events if e.phase == "before"]
+    after = [e.method for e in events if e.phase == "after"]
+    assert before == ["write", "flush", "close"]
+    assert after == ["write", "flush", "close"]  # each op also emits post-op
+    assert all(e.location[0] == __name__ for e in events)
+    assert all(e.cls.endswith("FileOutputStream") for e in events)
+
+
+def test_io_bus_disabled_is_silent():
+    IO_BUS.reset()
+    disk = SimDisk()
+    out = FileOutputStream(disk, "/f")
+    out.write("x")  # no hooks: nothing should happen
+    assert not IO_BUS.enabled

@@ -1,0 +1,98 @@
+"""Unit tests for report formatting, the ambient runtime, and errors."""
+
+import pytest
+
+from repro import runtime
+from repro.cluster import Cluster
+from repro.core.report import format_table, hours
+from repro.errors import (
+    AnalysisError,
+    InjectionError,
+    NodeAbortError,
+    NodeCrashedError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(["a", "bb"], [["1", "x"], ["22", "yy"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a  | bb" == lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert lines[3].startswith("1 ")
+
+
+def test_format_table_stringifies_cells():
+    text = format_table(["n"], [[42], [None]])
+    assert "42" in text and "None" in text
+
+
+def test_format_table_widens_to_longest_cell():
+    text = format_table(["h"], [["very-long-cell"]])
+    assert "very-long-cell" in text.splitlines()[-1]
+
+
+def test_hours_rendering():
+    assert hours(3600) == "1.00h"
+    assert hours(1800) == "0.50h"
+    assert hours(0) == "0.00h"
+
+
+def test_runtime_without_cluster_is_inert():
+    runtime.activate_cluster(None)
+    assert runtime.active_cluster() is None
+    assert runtime.current_time() == 0.0
+    assert runtime.current_node() is None
+    runtime.pop_node()  # popping an empty stack is harmless
+
+
+def test_runtime_node_stack_nests():
+    cluster = Cluster("t")
+    cluster.activate()
+    try:
+        runtime.push_node("outer")
+        runtime.push_node("inner")
+        assert runtime.current_node() == "inner"
+        runtime.pop_node()
+        assert runtime.current_node() == "outer"
+        runtime.pop_node()
+        assert runtime.current_node() is None
+    finally:
+        cluster.deactivate()
+
+
+def test_activate_cluster_clears_node_stack():
+    cluster = Cluster("t")
+    cluster.activate()
+    runtime.push_node("stale")
+    runtime.activate_cluster(None)
+    assert runtime.current_node() is None
+
+
+def test_cluster_context_manager_deactivates():
+    cluster = Cluster("t")
+    with cluster:
+        assert runtime.active_cluster() is cluster
+    assert runtime.active_cluster() is None
+
+
+def test_error_hierarchy():
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(AnalysisError, ReproError)
+    assert issubclass(InjectionError, ReproError)
+    crash = NodeCrashedError("n1")
+    assert crash.node_name == "n1"
+    abort = NodeAbortError("n2", ValueError("x"))
+    assert abort.node_name == "n2"
+    assert isinstance(abort.cause, ValueError)
+
+
+def test_public_api_surface():
+    import repro
+
+    assert set(repro.__all__) >= {
+        "crashtuner", "get_system", "all_systems", "run_workload",
+    }
+    assert repro.__version__

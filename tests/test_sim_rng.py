@@ -1,0 +1,47 @@
+"""Unit tests for deterministic randomness and stable hashing."""
+
+from repro.sim import SimRandom, stable_hash
+
+
+def test_same_seed_same_root_sequence():
+    a = SimRandom(42)
+    b = SimRandom(42)
+    assert [a.uniform(0, 1) for _ in range(5)] == [b.uniform(0, 1) for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    assert SimRandom(1).uniform(0, 1) != SimRandom(2).uniform(0, 1)
+
+
+def test_named_streams_are_stable():
+    a = SimRandom(7).stream("network")
+    b = SimRandom(7).stream("network")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_named_streams_are_independent_of_creation_order():
+    r1 = SimRandom(7)
+    net_first = r1.stream("network").random()
+    r2 = SimRandom(7)
+    r2.stream("other")  # creating another stream first must not perturb it
+    net_second = r2.stream("network").random()
+    assert net_first == net_second
+
+
+def test_streams_with_different_names_differ():
+    r = SimRandom(7)
+    assert r.stream("a").random() != r.stream("b").random()
+
+
+def test_choice_and_randint_work():
+    r = SimRandom(3)
+    assert r.choice(["x"]) == "x"
+    assert 1 <= r.randint(1, 5) <= 5
+
+
+def test_stable_hash_is_deterministic_constant():
+    # Not just stable within a process: this value must never change, or
+    # placement-sensitive tests would silently shift.
+    assert stable_hash("row0001") == stable_hash("row0001")
+    assert stable_hash("") == 0
+    assert stable_hash("a") != stable_hash("b")

@@ -1,0 +1,127 @@
+"""Integration tests for the miniature Cassandra and Kubernetes."""
+
+from repro.systems import get_system, run_workload
+from tests.conftest import find_dpoints, inject_at, prepared
+
+CA_PATCHED = {"patched_bugs": frozenset({"CA-15131"})}
+KUBE_PATCHED = {"patched_bugs": frozenset({"KUBE-53647", "KUBE-68173"})}
+
+
+def run_cassandra(seed=0, config=None, before_run=None, deadline=None):
+    return run_workload(get_system("cassandra"), seed=seed, config=config,
+                        before_run=before_run, deadline=deadline)
+
+
+def run_kube(seed=0, config=None, before_run=None, deadline=None):
+    return run_workload(get_system("kube"), seed=seed, config=config,
+                        before_run=before_run, deadline=deadline)
+
+
+# ---------------------------------------------------------------------------
+# Cassandra
+# ---------------------------------------------------------------------------
+def test_clean_stress_succeeds():
+    report = run_cassandra()
+    assert report.succeeded
+    assert report.log.errors() == []
+
+
+def test_data_replicated_to_quorum():
+    report = run_cassandra()
+    stores = [report.cluster.nodes[f"node{i}"].store.snapshot() for i in (1, 2, 3)]
+    for i in range(8):
+        key = f"key{i:04d}"
+        assert sum(1 for s in stores if key in s) >= 2  # quorum of RF=3
+
+
+def test_single_node_crash_tolerated_by_quorum():
+    report = run_cassandra(
+        seed=1,
+        config=CA_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(0.5, lambda: c.crash("node2")),
+        deadline=60.0,
+    )
+    assert report.succeeded
+    assert any("is now DOWN" in r.message for r in report.log.records)
+
+
+def test_graceful_departure_announced_via_gossip():
+    report = run_cassandra(
+        seed=1,
+        config=CA_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(0.5, lambda: c.shutdown("node3")),
+        deadline=60.0,
+    )
+    assert report.succeeded
+    assert any("announced shutdown" in r.message for r in report.log.records)
+
+
+def test_commitlog_written_on_mutations():
+    report = run_cassandra()
+    logged = sum(
+        len(report.cluster.nodes[f"node{i}"].disk.files.get(f"/cassandra/commitlog/node{i}", []))
+        for i in (1, 2, 3)
+    )
+    assert logged >= 8  # every key mutated somewhere
+
+
+def test_ca_15131_coordinator_error_on_removed_endpoint():
+    outcome = inject_at("cassandra", "on_coordinate_write", field="endpoints", op="read")
+    assert "CA-15131" in outcome.matched_bugs
+    assert any("Unexpected exception during write" in u
+               for u in outcome.verdict.uncommon_exceptions)
+
+
+def test_ca_15131_patched_point_pruned():
+    # The fix adds a None-guard, so the patched build no longer has this
+    # crash point at all (optimization 3 prunes it).
+    _, _, profile, _ = prepared("cassandra", CA_PATCHED)
+    assert find_dpoints(profile, "on_coordinate_write", field="endpoints",
+                        op="read") == []
+
+
+# ---------------------------------------------------------------------------
+# Kubernetes
+# ---------------------------------------------------------------------------
+def test_clean_deploy_and_drain_succeeds():
+    report = run_kube()
+    assert report.succeeded
+    assert report.log.errors() == []
+    assert any("Draining node" in r.message for r in report.log.records)
+
+
+def test_pods_rescheduled_off_drained_node():
+    report = run_kube(config=KUBE_PATCHED)
+    cp = report.cluster.nodes["cp"]
+    drained = report.cluster.nodes["kubectl"].drain_target
+    for record in cp.pods.values():
+        assert record.node != drained
+
+
+def test_kubelet_crash_evicts_and_rebinds():
+    # Crash the node the pods land on (placement is stable-hash: node1)
+    # before the workload's own drain phase starts.
+    report = run_kube(
+        seed=1,
+        config=KUBE_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(0.35, lambda: c.crash("node1")),
+        deadline=60.0,
+    )
+    assert report.succeeded
+    assert any("NotReady; evicting" in r.message for r in report.log.records)
+
+
+def test_kube_53647_scheduler_binding_error():
+    outcome = inject_at("kube", "_schedule_pending", field="nodes", op="read")
+    assert "kube-53647" in outcome.matched_bugs
+
+
+def test_kube_68173_eviction_races_pod_deletion():
+    outcome = inject_at("kube", "_remove_node", field="pods", op="read")
+    assert "kube-68173" in outcome.matched_bugs
+    assert outcome.verdict.critical_aborts  # the control plane aborts
+
+
+def test_kube_68173_patched_point_pruned():
+    _, _, profile, _ = prepared("kube", KUBE_PATCHED)
+    assert find_dpoints(profile, "_remove_node", field="pods", op="read") == []

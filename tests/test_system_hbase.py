@@ -1,0 +1,120 @@
+"""Integration tests for the miniature HBase (+ embedded ZooKeeper)."""
+
+from repro.bugs import seeded_bugs
+from repro.systems import get_system, run_workload
+from tests.conftest import find_dpoints, inject_at, prepared
+
+ALL_HBASE_PATCHED = {"patched_bugs": frozenset(b.flag for b in seeded_bugs("hbase"))}
+
+
+def run_hbase(seed=0, config=None, before_run=None, deadline=None):
+    return run_workload(get_system("hbase"), seed=seed, config=config,
+                        before_run=before_run, deadline=deadline)
+
+
+def test_clean_pe_succeeds():
+    report = run_hbase()
+    assert report.succeeded
+    assert report.log.errors() == []
+
+
+def test_regions_assigned_via_meta_then_balanced():
+    report = run_hbase()
+    master = report.cluster.nodes["hmaster"]
+    assert master.meta_assigned
+    assert master.regions.size() == master.num_user_regions + 1  # + meta
+    assert any("Balancer moving region" in r.message for r in report.log.records)
+
+
+def test_rolling_stop_exercises_server_crash_procedure():
+    report = run_hbase()
+    assert any("ServerCrashProcedure" in r.message for r in report.log.records)
+    assert report.succeeded
+
+
+def test_rs_crash_regions_reassigned():
+    # Crash + the workload's own rolling stop is a double fault; a region
+    # can park in transition until the (10-minute) assignment chore reaps
+    # it, so the observation window must cover the chore.
+    report = run_hbase(
+        seed=1,
+        config=ALL_HBASE_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(1.2, lambda: c.crash_host("node2")),
+        deadline=700.0,
+    )
+    assert report.succeeded
+    master = report.cluster.nodes["hmaster"]
+    owners = {str(o) for o in master.regions.snapshot().values()}
+    assert not any(o.startswith("node2,") for o in owners)
+
+
+def test_zk_session_expiry_detects_rs_crash():
+    report = run_hbase(
+        seed=1,
+        config=ALL_HBASE_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(1.2, lambda: c.crash_host("node2")),
+        deadline=60.0,
+    )
+    assert any("Expiring session" in r.message for r in report.log.records)
+
+
+def test_hbase_22041_master_startup_hang():
+    outcome = inject_at("hbase", "on_report_for_duty", field="online_servers",
+                        op="write", classify_timeouts=False)
+    assert "HBASE-22041" in outcome.matched_bugs
+    assert outcome.verdict.hang
+
+
+def test_hbase_22041_patched_bounds_retries():
+    outcome = inject_at("hbase", "on_report_for_duty", field="online_servers",
+                        op="write", config=ALL_HBASE_PATCHED, classify_timeouts=False)
+    assert "HBASE-22041" not in outcome.matched_bugs
+    assert not outcome.verdict.hang
+
+
+def test_hbase_22017_become_active_abort():
+    outcome = inject_at("hbase", "_become_active", field="online_servers",
+                        op="read", via="get")
+    assert "HBASE-22017" in outcome.matched_bugs
+    assert outcome.verdict.critical_aborts
+
+
+def test_hbase_22017_patched_point_pruned():
+    _, _, profile, _ = prepared("hbase", ALL_HBASE_PATCHED)
+    assert find_dpoints(profile, "_become_active", field="online_servers",
+                        op="read", via="get") == []
+
+
+def test_hbase_21740_shutdown_during_init():
+    outcome = inject_at("hbase", "on_duty_ack", field="metrics", op="write")
+    assert "HBASE-21740" in outcome.matched_bugs
+
+
+def test_hbase_21740_patched_clean_stop():
+    outcome = inject_at("hbase", "on_duty_ack", field="metrics", op="write",
+                        config=ALL_HBASE_PATCHED)
+    assert "HBASE-21740" not in outcome.matched_bugs
+
+
+def test_hbase_22023_heap_manager_variant():
+    outcome = inject_at("hbase", "_init_wal", field="wal", op="write")
+    assert "HBASE-22023" in outcome.matched_bugs
+
+
+def test_hbase_22050_close_ack_race():
+    outcome = inject_at("hbase", "on_region_closed", field="transitions", op="read")
+    assert "HBASE-22050" in outcome.matched_bugs
+    assert any("Procedure executor caught exception" in u
+               for u in outcome.verdict.uncommon_exceptions)
+
+
+def test_hbase_3617_reassignment_target_vanishes():
+    outcome = inject_at("hbase", "_handle_server_crash", field="online_servers",
+                        op="read")
+    assert "HBASE-3617" in outcome.matched_bugs
+
+
+def test_timeout_issue_region_stuck_opening():
+    outcome = inject_at("hbase", "_assign_region", field="transitions", op="write")
+    assert outcome.verdict.timeout_issue
+    assert "TO-HBASE-1" in outcome.matched_bugs

@@ -1,0 +1,214 @@
+"""Unit tests for HDFS/HBase/Cassandra component internals."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.ids import (
+    CLUSTER_TIMESTAMP,
+    BlockId,
+    InetAddressAndPort,
+    NodeId,
+    RegionInfo,
+    ServerName,
+)
+from repro.systems.cassandra.node import CassandraNode
+from repro.systems.hbase.master import META_REGION, HMaster, ServerInfo
+from repro.systems.hdfs.namenode import NameNode
+from repro.systems.hdfs.records import BlockInfo, DatanodeDescriptor, INodeFile
+
+
+# ---------------------------------------------------------------------------
+# HDFS records and NameNode policies
+# ---------------------------------------------------------------------------
+def test_block_under_replication():
+    block = BlockInfo(BlockId(1), "/f", replication=2)
+    assert block.under_replicated()
+    block.locations.append(NodeId("node1", 9866))
+    assert block.under_replicated()
+    block.locations.append(NodeId("node2", 9866))
+    assert not block.under_replicated()
+
+
+def test_datanode_descriptor_renders_with_address():
+    d = DatanodeDescriptor(NodeId("node2", 9866), "DS-1")
+    assert "node2:9866" in str(d)
+
+
+def test_inode_tracks_completion():
+    inode = INodeFile("/f", client="client")
+    assert not inode.complete
+    assert str(inode) == "/f"
+
+
+def _live_nn():
+    cluster = Cluster("t")
+    cluster.activate()
+    nn = NameNode(cluster, "nn")
+    nn.start()
+    return cluster, nn
+
+
+def test_choose_targets_prefers_emptier_datanodes():
+    cluster, nn = _live_nn()
+    try:
+        for i in (1, 2, 3):
+            nn.on_register_datanode(f"node{i}", NodeId(f"node{i}", 9866), f"DS-{i}")
+        nn.datanodes.get(NodeId("node1", 9866)).block_ids.append(BlockId(9))
+        targets = nn._choose_targets()
+        assert len(targets) == nn.replication
+        assert NodeId("node1", 9866) not in targets  # it carries more blocks
+    finally:
+        cluster.deactivate()
+
+
+def test_create_file_fails_without_enough_datanodes():
+    cluster, nn = _live_nn()
+    try:
+        nn.on_register_datanode("node1", NodeId("node1", 9866), "DS-1")
+        nn.on_create_file("client", "/f", num_blocks=1)
+        cluster.run(until=0.5)
+        assert cluster.log_collector.grep("Not enough datanodes")
+    finally:
+        cluster.deactivate()
+
+
+def test_replication_target_avoids_existing_locations():
+    cluster, nn = _live_nn()
+    try:
+        for i in (1, 2):
+            nn.on_register_datanode(f"node{i}", NodeId(f"node{i}", 9866), f"DS-{i}")
+        block = BlockInfo(BlockId(5), "/f", replication=2)
+        block.locations.append(NodeId("node1", 9866))
+        target = nn._pick_replication_target(block)
+        assert target == NodeId("node2", 9866)
+    finally:
+        cluster.deactivate()
+
+
+# ---------------------------------------------------------------------------
+# HBase master internals
+# ---------------------------------------------------------------------------
+def _live_master():
+    cluster = Cluster("t")
+    cluster.activate()
+    master = HMaster(cluster, "hmaster")
+    master.start()
+    return cluster, master
+
+
+def _sn(i):
+    return ServerName(f"node{i}", 16020, CLUSTER_TIMESTAMP)
+
+
+def test_pick_server_load_balances_and_excludes():
+    cluster, master = _live_master()
+    try:
+        for i in (1, 2):
+            master.online_servers.put(_sn(i), ServerInfo(_sn(i)))
+        first = master._pick_server(exclude=None)
+        second = master._pick_server(exclude=None)
+        assert first != second  # load-based rotation
+        only = master._pick_server(exclude=second)
+        assert only != second
+    finally:
+        cluster.deactivate()
+
+
+def test_parse_server_name_roundtrip():
+    cluster, master = _live_master()
+    try:
+        sn = _sn(3)
+        parsed = master._parse_server_name(f"/hbase/rs/{sn}")
+        assert parsed == sn
+        assert master._parse_server_name("/hbase/rs/garbage") is None
+    finally:
+        cluster.deactivate()
+
+
+def test_server_crash_procedure_reassigns_only_victims_regions():
+    cluster, master = _live_master()
+    try:
+        for i in (1, 2):
+            master.online_servers.put(_sn(i), ServerInfo(_sn(i)))
+        r1 = RegionInfo("usertable", "row01", 1)
+        r2 = RegionInfo("usertable", "row02", 2)
+        master.regions.put(r1, _sn(1))
+        master.regions.put(r2, _sn(2))
+        master.meta_assigned = True
+        master._handle_server_crash(_sn(1))
+        cluster.run(until=1.0)
+        assert not master.online_servers.contains(_sn(1))
+        assert master.regions.get(r2) == _sn(2)  # untouched
+        assert master.transitions.contains(r1)  # being moved
+    finally:
+        cluster.deactivate()
+
+
+def test_meta_region_identity():
+    assert str(META_REGION) == "hbase:meta,,1"
+
+
+# ---------------------------------------------------------------------------
+# Cassandra ring
+# ---------------------------------------------------------------------------
+def _live_ring():
+    cluster = Cluster("t")
+    cluster.activate()
+    names = ["node1", "node2", "node3"]
+    nodes = [CassandraNode(cluster, n, peers=names, rf=3) for n in names]
+    for node in nodes:
+        node.start()
+    return cluster, nodes
+
+
+def test_replica_plan_is_consistent_across_nodes():
+    cluster, nodes = _live_ring()
+    try:
+        plans = [tuple(map(str, n._replica_plan("key42"))) for n in nodes]
+        assert plans[0] == plans[1] == plans[2]
+        assert len(plans[0]) == 3
+    finally:
+        cluster.deactivate()
+
+
+def test_replica_plan_shrinks_when_endpoint_leaves():
+    cluster, nodes = _live_ring()
+    try:
+        ep = InetAddressAndPort("node2", 7000)
+        nodes[0].endpoints.remove(ep)
+        plan = nodes[0]._replica_plan("key42")
+        assert ep not in plan
+        assert len(plan) == 2
+    finally:
+        cluster.deactivate()
+
+
+def test_token_function_is_stable_and_bounded():
+    t1 = CassandraNode._token("abc")
+    t2 = CassandraNode._token("abc")
+    assert t1 == t2
+    assert 0 <= t1 < 1024
+
+
+def test_conviction_after_silence():
+    cluster, nodes = _live_ring()
+    try:
+        cluster.crash("node3")
+        cluster.run(until=5.0)
+        ep = InetAddressAndPort("node3", 7000)
+        assert not nodes[0].endpoints.contains(ep)
+        assert cluster.log_collector.grep("is now DOWN")
+    finally:
+        cluster.deactivate()
+
+
+def test_gossip_rediscovers_returning_endpoint():
+    cluster, nodes = _live_ring()
+    try:
+        ep = InetAddressAndPort("node2", 7000)
+        nodes[0].endpoints.remove(ep)  # locally convicted
+        cluster.run(until=2.0)  # node2 keeps gossiping
+        assert nodes[0].endpoints.contains(ep)
+        assert cluster.log_collector.grep("is now UP")
+    finally:
+        cluster.deactivate()

@@ -1,0 +1,211 @@
+"""Integration tests for the miniature Hadoop2/Yarn + MapReduce system.
+
+Covers clean operation, crash recovery, and every seeded bug in both its
+buggy and patched behaviour (the patch flags model the accepted fixes).
+"""
+
+import pytest
+
+from repro.bugs import seeded_bugs
+from repro.systems import get_system, run_workload
+from tests.conftest import inject_at
+
+ALL_YARN_PATCHED = {"patched_bugs": frozenset(b.flag for b in seeded_bugs("yarn"))}
+
+
+def run_yarn(seed=0, config=None, before_run=None, cooldown=0.0, scale=1, deadline=None):
+    return run_workload(get_system("yarn"), seed=seed, config=config,
+                        before_run=before_run, cooldown=cooldown, scale=scale,
+                        deadline=deadline)
+
+
+# ---------------------------------------------------------------------------
+# clean operation
+# ---------------------------------------------------------------------------
+def test_clean_wordcount_succeeds():
+    report = run_yarn()
+    assert report.succeeded
+    assert report.aborts == []
+    assert report.log.errors() == []
+
+
+def test_clean_run_is_deterministic():
+    a = run_yarn(seed=3)
+    b = run_yarn(seed=3)
+    assert a.duration == b.duration
+    assert [r.message for r in a.log.records] == [r.message for r in b.log.records]
+
+
+def test_scaled_workload_runs_more_maps():
+    small = run_yarn()
+    big = run_yarn(scale=2)
+    assert big.succeeded
+    count = lambda rep: len(rep.log.grep("given task"))
+    assert count(big) > count(small)
+
+
+def test_logs_contain_figure5_patterns():
+    report = run_yarn()
+    messages = [r.message for r in report.log.records]
+    assert any("registered as node" in m for m in messages)
+    assert any(m.startswith("Assigned container") and " on host " in m for m in messages)
+    assert any(m.startswith("Assigned container") and " to attempt_" in m for m in messages)
+    assert any(m.startswith("JVM with ID: jvm_") for m in messages)
+
+
+def test_curl_leg_served():
+    report = run_yarn()
+    client = report.cluster.nodes["client"]
+    assert client.web_responses >= 1
+
+
+# ---------------------------------------------------------------------------
+# crash recovery (no seeded bug on the path)
+# ---------------------------------------------------------------------------
+def test_nm_crash_mid_job_recovers():
+    # Crash a task node mid-run: attempts reschedule, the job succeeds.
+    report = run_yarn(
+        seed=1,
+        config=ALL_YARN_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(2.5, lambda: c.crash_host("node2")),
+        deadline=60.0,
+    )
+    assert report.succeeded
+    assert any("transitioning to LOST" in r.message for r in report.log.records)
+
+
+def test_am_host_crash_triggers_new_attempt():
+    report = run_yarn(
+        seed=1,
+        config=ALL_YARN_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(2.4, lambda: c.crash_host("node1")),
+        deadline=60.0,
+    )
+    assert report.succeeded
+    assert any("Created new attempt" in r.message and "_000002" in r.message
+               for r in report.log.records)
+
+
+def test_rm_crash_is_cluster_down():
+    report = run_yarn(
+        before_run=lambda c, w: c.loop.schedule(1.0, lambda: c.crash_host("rm")),
+    )
+    assert not report.completed  # nothing can finish without the RM
+
+
+def test_graceful_nm_shutdown_is_immediate_decommission():
+    report = run_yarn(
+        seed=1,
+        config=ALL_YARN_PATCHED,
+        before_run=lambda c, w: c.loop.schedule(2.5, lambda: c.shutdown_host("node2")),
+        deadline=60.0,
+    )
+    assert report.succeeded
+    assert any("unregistered gracefully" in r.message for r in report.log.records)
+
+
+# ---------------------------------------------------------------------------
+# seeded bugs: buggy vs patched
+# ---------------------------------------------------------------------------
+def test_yarn_9164_cluster_down_and_patch():
+    outcome = inject_at("yarn", "on_am_unregister", field="nodes", op="read")
+    assert "YARN-9164" in outcome.matched_bugs
+    assert outcome.verdict.critical_aborts
+    # The accepted patch adds a sanity check, so in the patched build the
+    # read is no longer a crash point at all (the paper's optimization 3).
+    from tests.conftest import find_dpoints, prepared
+
+    _, _, profile, _ = prepared("yarn", ALL_YARN_PATCHED)
+    assert find_dpoints(profile, "on_am_unregister", field="nodes", op="read") == []
+
+
+def test_yarn_9238_invalid_allocate_and_patch():
+    outcome = inject_at("yarn", "on_allocate", field="current_attempt", op="read")
+    assert "YARN-9238" in outcome.matched_bugs
+    patched = inject_at("yarn", "on_allocate", field="current_attempt", op="read",
+                        config=ALL_YARN_PATCHED)
+    assert "YARN-9238" not in patched.matched_bugs
+    assert not patched.verdict.critical_aborts
+
+
+def test_yarn_9165_scheduling_removed_container():
+    outcome = inject_at("yarn", "on_acquire_container", field="containers", op="read")
+    assert "YARN-9165" in outcome.matched_bugs
+    from tests.conftest import find_dpoints, prepared
+
+    _, _, profile, _ = prepared("yarn", ALL_YARN_PATCHED)
+    assert find_dpoints(profile, "on_acquire_container", field="containers", op="read") == []
+
+
+def test_yarn_5918_preferred_node_job_failure():
+    outcome = inject_at("yarn", "_pick_node", field="nodes", op="read")
+    assert "YARN-5918" in outcome.matched_bugs
+    assert outcome.verdict.job_failure
+    assert not outcome.verdict.critical_aborts  # app fails, RM survives
+    patched = inject_at("yarn", "_pick_node", field="nodes", op="read",
+                        config=ALL_YARN_PATCHED)
+    assert not patched.verdict.job_failure
+
+
+def test_yarn_9193_placement_on_removed_node():
+    outcome = inject_at("yarn", "_assign_for_ask", field="nodes", op="read")
+    assert "YARN-9193" in outcome.matched_bugs
+    from tests.conftest import find_dpoints, prepared
+
+    _, _, profile, _ = prepared("yarn", ALL_YARN_PATCHED)
+    assert find_dpoints(profile, "_assign_for_ask", field="nodes", op="read") == []
+
+
+def test_yarn_8649_release_leak():
+    outcome = inject_at("yarn", "on_release_container", field="containers", op="read")
+    assert "YARN-8649" in outcome.matched_bugs
+    patched = inject_at("yarn", "on_release_container", field="containers", op="read",
+                        config=ALL_YARN_PATCHED)
+    assert "YARN-8649" not in patched.matched_bugs
+
+
+def test_mr_3858_commit_window_hang_and_patch():
+    outcome = inject_at("yarn", "on_commit_pending", field="commit_attempts",
+                        op="write", classify_timeouts=False)
+    assert "MR-3858" in outcome.matched_bugs
+    assert outcome.verdict.hang
+    patched = inject_at("yarn", "on_commit_pending", field="commit_attempts",
+                        op="write", config=ALL_YARN_PATCHED, classify_timeouts=False)
+    assert not patched.verdict.hang
+
+
+def test_mr_7178_launch_timer_abort_and_patch():
+    outcome = inject_at("yarn", "_launch_attempt", field="current_attempt", op="write")
+    assert "MR-7178" in outcome.matched_bugs
+    patched = inject_at("yarn", "_launch_attempt", field="current_attempt", op="write",
+                        config=ALL_YARN_PATCHED)
+    assert "MR-7178" not in patched.matched_bugs
+    assert patched.verdict.kinds() in ([], ["uncommon-exception"]) or not patched.flagged
+
+
+def test_timeout_issue_to1_reduce_fetch():
+    outcome = inject_at("yarn", "on_done_commit", field="success_attempt", op="write")
+    assert outcome.verdict.timeout_issue
+    assert "TO-YARN-1" in outcome.matched_bugs
+
+
+def test_timeout_issue_to2_am_launch_monitor():
+    outcome = inject_at("yarn", "_allocate_master_container",
+                        field="master_container", op="write")
+    assert outcome.verdict.timeout_issue
+    assert "TO-YARN-2" in outcome.matched_bugs
+
+
+def test_fully_patched_yarn_survives_every_injection_without_cluster_down():
+    from repro.bugs import matcher_for_system
+    from repro.core.injection import run_campaign
+    from tests.conftest import prepared
+
+    system, analysis, profile, baseline = prepared("yarn", ALL_YARN_PATCHED)
+    result = run_campaign(system, analysis, profile.dynamic_points,
+                          config=ALL_YARN_PATCHED, baseline=baseline,
+                          matcher=matcher_for_system("yarn"),
+                          classify_timeouts=False)
+    cluster_down = [o for o in result.outcomes if o.verdict.critical_aborts]
+    assert cluster_down == []
+    assert result.detected_bugs() == {}

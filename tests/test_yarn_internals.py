@@ -1,0 +1,198 @@
+"""Unit tests for YARN component internals (scheduler, records, commit)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.ids import (
+    CLUSTER_TIMESTAMP,
+    ApplicationAttemptId,
+    ApplicationId,
+    ContainerId,
+    JobId,
+    NodeId,
+    TaskAttemptId,
+    TaskId,
+)
+from repro.systems.common import InvalidStateTransition, StateMachine, transitions
+from repro.systems.yarn.records import (
+    MRTask,
+    RMApp,
+    RMContainer,
+    SchedulerApplicationAttempt,
+    SchedulerNode,
+)
+from repro.systems.yarn.resourcemanager import ResourceManager
+from repro.systems.yarn.system import YarnSystem
+from repro.systems import run_workload
+
+
+# ---------------------------------------------------------------------------
+# the state machine helper
+# ---------------------------------------------------------------------------
+def test_state_machine_transitions():
+    sm = StateMachine("e", "A", transitions(("A", "go", "B"), ("B", "back", "A")))
+    assert sm.handle("go") == "B"
+    assert sm.can_handle("back")
+    assert not sm.can_handle("go")
+    assert sm.is_in(["B", "C"])
+
+
+def test_state_machine_invalid_event_names_entity_and_state():
+    sm = StateMachine("container_1", "KILLED", {})
+    with pytest.raises(InvalidStateTransition) as err:
+        sm.handle("launched")
+    assert "Invalid event: launched at KILLED for container_1" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+def _ids():
+    app = ApplicationId(CLUSTER_TIMESTAMP, 1)
+    attempt = ApplicationAttemptId(app, 1)
+    return app, attempt
+
+
+def test_scheduler_node_slot_accounting():
+    node = SchedulerNode(NodeId("node1", 42349), total_slots=2)
+    _, attempt = _ids()
+    c1, c2 = ContainerId(attempt, 1), ContainerId(attempt, 2)
+    node.allocate(c1)
+    node.allocate(c2)
+    assert node.available_slots() == 0
+    node.release_container(c1)
+    assert node.available_slots() == 1
+    node.release_container(c1)  # double release is a no-op
+    assert node.available_slots() == 1
+
+
+def test_rmapp_lifecycle_states():
+    app, attempt = _ids()
+    rmapp = RMApp(app, num_maps=2, num_reduces=1)
+    rmapp.sm.handle("start")
+    rmapp.sm.handle("unregister")
+    rmapp.sm.handle("finalize")
+    assert rmapp.sm.state == "FINISHED"
+    # late NM reports after finalize are tolerated by design
+    assert rmapp.sm.can_handle("nm_app_report")
+
+
+def test_container_record_str_is_its_id():
+    app, attempt = _ids()
+    cid = ContainerId(attempt, 3)
+    rmc = RMContainer(cid, NodeId("node1", 42349), attempt)
+    assert str(rmc) == str(cid)
+    assert rmc.sm.state == "ALLOCATED"
+
+
+def test_mrtask_rerun_after_output_loss():
+    app, _ = _ids()
+    task = MRTask(TaskId(JobId(app), "m", 1))
+    task.sm.handle("attempt_started")
+    task.sm.handle("committed")
+    assert task.sm.state == "SUCCEEDED"
+    task.sm.handle("output_lost")
+    assert task.sm.state == "SCHEDULED"  # eligible for re-run
+
+
+# ---------------------------------------------------------------------------
+# scheduler behaviour inside a live RM
+# ---------------------------------------------------------------------------
+def _live_rm():
+    cluster = Cluster("t")
+    cluster.activate()
+    rm = ResourceManager(cluster, "rm")
+    rm.start()
+    return cluster, rm
+
+
+def test_pick_node_balances_by_load():
+    cluster, rm = _live_rm()
+    try:
+        for i in (1, 2):
+            rm.on_register_node(f"node{i}", NodeId(f"node{i}", 42349))
+        first = rm._pick_node(None)
+        first.allocate(ContainerId(_ids()[1], 1))
+        second = rm._pick_node(None)
+        assert first.node_id != second.node_id
+    finally:
+        cluster.deactivate()
+
+
+def test_pick_node_returns_none_when_full():
+    cluster, rm = _live_rm()
+    try:
+        assert rm._pick_node(None) is None  # no nodes at all
+        rm.on_register_node("node1", NodeId("node1", 42349))
+        node = rm.get_sched_node(NodeId("node1", 42349))
+        for i in range(rm.slots_per_node):
+            node.allocate(ContainerId(_ids()[1], i + 1))
+        assert rm._pick_node(None) is None
+    finally:
+        cluster.deactivate()
+
+
+def test_node_removal_is_idempotent():
+    cluster, rm = _live_rm()
+    try:
+        nid = NodeId("node1", 42349)
+        rm.on_register_node("node1", nid)
+        rm._handle_node_removed(nid, "LOST")
+        rm._handle_node_removed(nid, "LOST")  # second removal: no-op
+        assert rm.nodes.is_empty()
+    finally:
+        cluster.deactivate()
+
+
+def test_web_request_counts_state():
+    cluster, rm = _live_rm()
+    try:
+        rm.on_register_node("node1", NodeId("node1", 42349))
+        rm.on_web_request("client")
+        assert cluster.log_collector.grep("Web request: 0 applications, 1 nodes")
+    finally:
+        cluster.deactivate()
+
+
+# ---------------------------------------------------------------------------
+# end-to-end behaviours not covered elsewhere
+# ---------------------------------------------------------------------------
+def test_two_jobs_run_concurrently():
+    from repro.systems.yarn.client import WordCountWorkload
+
+    system = YarnSystem()
+
+    class TwoJobs(WordCountWorkload):
+        def __init__(self):
+            super().__init__(jobs=2, num_maps=2, num_reduces=1)
+
+    workload = TwoJobs()
+    cluster = system.build(seed=0)
+    with cluster:
+        workload.install(cluster)
+        cluster.start_all()
+        cluster.run(until=40.0, stop_when=lambda: workload.finished(cluster))
+        assert workload.succeeded(cluster)
+        apps = {str(a) for a in cluster.nodes["client"].results.snapshot()}
+    assert len(apps) == 2
+
+
+def test_commit_protocol_logged_in_order():
+    report = run_workload(YarnSystem(), seed=0)
+    msgs = [r.message for r in report.log.records]
+    first_commit_req = next(i for i, m in enumerate(msgs) if "requesting commit permission" in m)
+    first_committed = next(i for i, m in enumerate(msgs) if m.startswith("Committed task attempt"))
+    assert first_commit_req < first_committed
+
+
+def test_job_fails_after_task_fail_limit():
+    # Crash every NM repeatedly is overkill; instead drop the limit to 0 so
+    # the first genuine attempt failure fails the job.
+    config = {"yarn.task_fail_limit": 0, "yarn.max_app_attempts": 1}
+    report = run_workload(
+        YarnSystem(), seed=1, config=config, deadline=60.0,
+        before_run=lambda c, w: c.loop.schedule(2.6, lambda: c.crash_host("node2")),
+    )
+    # either the AM declared the job failed, or recovery was exhausted
+    assert report.completed
+    assert not report.succeeded

@@ -1,0 +1,76 @@
+"""A deliberately tiny system used as a fixture by the analysis tests.
+
+Its shape mirrors the Figure 3/Figure 5 example: a master tracking workers
+and tasks, with one constructor-only-indexed record class, one collection
+keyed by a meta-info id, a sanity-checked read, an unused read, and a
+return-only read that must be promoted.
+"""
+
+from typing import Dict, Optional
+
+from repro.cluster import Node, tracked_dict, tracked_ref
+from repro.cluster.ids import NodeId, TaskId
+from repro.mtlog import get_logger
+
+LOG = get_logger("toysys")
+
+
+class WorkerRecord:
+    """Indexed by its constructor-only node id (Definition 2's C rule)."""
+
+    node_id: NodeId = tracked_ref()
+
+    def __init__(self, node_id: NodeId):
+        self.node_id = node_id
+        self.slots = 4
+
+    def __str__(self) -> str:
+        return str(self.node_id)
+
+
+class UnrelatedRecord:
+    """Never logged, never related to nodes: must stay non-meta."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.weight = 1.0
+
+
+class ToyMaster(Node):
+    role = "toymaster"
+    critical = True
+    exception_policy = "abort"
+    default_port = 7100
+
+    workers: Dict[NodeId, WorkerRecord] = tracked_dict()
+    tasks: Dict[TaskId, str] = tracked_dict()
+    last_worker: Optional[NodeId] = tracked_ref()
+    counter: int = tracked_ref()
+
+    def on_register(self, src: str, node_id: NodeId) -> None:
+        self.workers.put(node_id, WorkerRecord(node_id))
+        self.last_worker = node_id
+        LOG.info("Worker from {} registered as {}", node_id.host, node_id)
+
+    def on_assign(self, src: str, task_id: TaskId, node_id: NodeId) -> None:
+        self.tasks.put(task_id, str(node_id))
+        LOG.info("Assigned task {} to worker {}", task_id, node_id)
+
+    def lookup_worker(self, node_id: NodeId) -> Optional[WorkerRecord]:
+        return self.workers.get(node_id)  # return-only: promoted
+
+    def on_use(self, src: str, node_id: NodeId) -> None:
+        record = self.lookup_worker(node_id)  # promoted crash point
+        record.slots -= 1
+
+    def on_checked_use(self, src: str, node_id: NodeId) -> None:
+        record = self.lookup_worker(node_id)
+        if record is None:
+            return  # sanity-checked: pruned
+        record.slots -= 1
+
+    def on_peek(self, src: str, node_id: NodeId) -> None:
+        LOG.debug("peek {}", self.workers.get(node_id))  # logging-only: pruned
+
+    def on_count(self, src: str) -> None:
+        self.counter = (self.counter or 0) + 1  # int field: never meta-info
