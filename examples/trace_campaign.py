@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run a CrashTuner campaign with full observability and inspect the trace.
+
+Runs the fault-injection campaign with tracing + metrics enabled, writes
+the run's telemetry as a JSONL trace (spans over simulated time, a
+metrics snapshot, and one diagnosis record per dynamic crash point), and
+prints the summary that ``python -m repro.obs.report`` produces from the
+file.  With ``--diff-fallback`` it runs the campaign a second time with
+the random-node fallback enabled (the A1 ablation's knob) and prints the
+diff between the two traces.
+
+Usage::
+
+    python examples/trace_campaign.py [system] [--points N]
+        [--out trace.jsonl] [--diff-fallback]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.bugs import matcher_for_system
+from repro.core.analysis import analyze_system
+from repro.core.injection import build_baseline, run_campaign
+from repro.core.profiler import profile_system
+from repro.obs import Observability, Tracer, write_trace_jsonl
+from repro.obs.report import diff, summarize
+from repro.obs.export import read_trace_jsonl
+from repro.systems import get_system
+
+
+def traced_campaign(system, analysis, profile, baseline, points, fallback):
+    obs = Observability(tracer=Tracer(max_spans=20_000))
+    result = run_campaign(
+        system, analysis,
+        profile.dynamic_points if points is None
+        else profile.dynamic_points[:points],
+        baseline=baseline, matcher=matcher_for_system(system.name),
+        random_fallback=fallback, obs=obs,
+    )
+    return obs, result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("system", nargs="?", default="yarn")
+    parser.add_argument("--points", type=int, default=None,
+                        help="cap the number of dynamic crash points tested")
+    parser.add_argument("--out", default=None, help="trace JSONL path")
+    parser.add_argument("--diff-fallback", action="store_true",
+                        help="also run with random_fallback=True and diff")
+    args = parser.parse_args()
+
+    system = get_system(args.system)
+    print(f"=== Tracing a CrashTuner campaign over {system.name} ===\n")
+    analysis = analyze_system(system)
+    profile = profile_system(system, analysis)
+    baseline = build_baseline(system)
+
+    obs, result = traced_campaign(system, analysis, profile, baseline,
+                                  args.points, fallback=False)
+    out = Path(args.out) if args.out else Path(tempfile.gettempdir()) / (
+        f"crashtuner-{system.name}.jsonl")
+    write_trace_jsonl(out, obs=obs, meta={"system": system.name,
+                                          "points": len(result.outcomes)})
+    print(f"trace written to {out} "
+          f"({len(obs.tracer.spans)} spans, {len(obs.diagnoses)} diagnoses)\n")
+    print(summarize(read_trace_jsonl(out)))
+
+    if args.diff_fallback:
+        obs2, _ = traced_campaign(system, analysis, profile, baseline,
+                                  args.points, fallback=True)
+        out2 = out.with_name(out.stem + "-fallback.jsonl")
+        write_trace_jsonl(out2, obs=obs2, meta={"system": system.name,
+                                                "random_fallback": True})
+        print(f"\n=== Diff vs random-fallback run ({out2}) ===\n")
+        print(diff(read_trace_jsonl(out), read_trace_jsonl(out2)))
+
+
+if __name__ == "__main__":
+    main()

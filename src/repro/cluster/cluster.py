@@ -16,6 +16,7 @@ from repro.cluster.node import Node, NodeState
 from repro.errors import SimulationError
 from repro.mtlog import LogCollector
 from repro.net.network import Network
+from repro.obs.context import get_obs
 from repro.sim import SimLoop, SimRandom
 
 
@@ -24,7 +25,9 @@ class Cluster:
 
     def __init__(self, name: str = "cluster", seed: int = 0, config: Optional[Dict[str, Any]] = None):
         self.name = name
+        self.obs = get_obs()  # the ambient observability context, if any
         self.loop = SimLoop()
+        self.loop.obs = self.obs
         self.random = SimRandom(seed)
         self.network = Network(self)
         self.log_collector = LogCollector()
@@ -141,12 +144,24 @@ class Cluster:
     # ------------------------------------------------------------------
     def record_crash(self, node: Node) -> None:
         self.crashes.append((self.loop.now, node.name))
+        if self.obs.enabled:
+            self.obs.metrics.counter("fault.crashes").inc()
+            self.obs.tracer.event("fault.crash", node=node.name, host=node.host)
 
     def record_shutdown(self, node: Node) -> None:
         self.shutdowns.append((self.loop.now, node.name))
+        if self.obs.enabled:
+            self.obs.metrics.counter("fault.shutdowns").inc()
+            self.obs.tracer.event("fault.shutdown", node=node.name, host=node.host)
 
     def record_abort(self, node: Node, cause: BaseException) -> None:
         self.aborts.append((self.loop.now, node.name, cause))
+        if self.obs.enabled:
+            self.obs.metrics.counter("fault.aborts").inc()
+            self.obs.tracer.event(
+                "fault.abort", node=node.name, cause=type(cause).__name__,
+                critical=node.critical,
+            )
 
     def critical_aborts(self) -> List[Tuple[float, str, BaseException]]:
         """Aborts of critical (master) nodes — the cluster-down symptom."""

@@ -66,11 +66,18 @@ class LivenessMonitor:
 
     def _scan(self) -> None:
         now = self.owner.cluster.loop.now
+        obs = self.owner.cluster.obs
         expired = [k for k, t in self._last_ping.items() if now - t > self.expiry]
         for key in expired:
             del self._last_ping[key]
             LOG.info("{} monitor expired {}", self.name, key)
-            self.on_expire(key)
+            if obs.enabled:
+                obs.metrics.counter("cluster.heartbeats_missed").inc()
+                with obs.tracer.span(f"recovery.{self.name}", key=str(key),
+                                     owner=self.owner.name):
+                    self.on_expire(key)
+            else:
+                self.on_expire(key)
 
 
 class HeartbeatSender:

@@ -19,6 +19,7 @@ from repro.core.injection.online_log import OnlineLogAgent, OnlineMetaStore
 from repro.core.injection.oracles import Baseline, OracleVerdict, build_baseline, evaluate_run
 from repro.core.injection.trigger import Trigger
 from repro.core.profiler import DynamicCrashPoint
+from repro.obs import InjectionDiagnosis, Observability, get_obs
 from repro.systems.base import RunReport, SystemUnderTest, run_workload
 
 #: signature of a bug-attribution function (see repro.bugs.match_bugs)
@@ -40,6 +41,8 @@ class InjectionOutcome:
     matched_bugs: List[str] = field(default_factory=list)
     duration: float = 0.0
     wall_seconds: float = 0.0
+    #: the full per-injection story (repro.obs), always populated
+    diagnosis: Optional[InjectionDiagnosis] = None
 
     @property
     def flagged(self) -> bool:
@@ -54,9 +57,14 @@ class CampaignResult:
     wall_seconds: float
     #: simulated hours spent across all test runs (the paper's Test column)
     sim_seconds: float
+    #: metrics snapshot of the campaign's observability context, if enabled
+    metrics: Optional[Dict[str, Any]] = None
 
     def flagged(self) -> List[InjectionOutcome]:
         return [o for o in self.outcomes if o.flagged]
+
+    def diagnoses(self) -> List[InjectionDiagnosis]:
+        return [o.diagnosis for o in self.outcomes if o.diagnosis is not None]
 
     def detected_bugs(self) -> Dict[str, List[InjectionOutcome]]:
         """Deduplicated: bug id -> the outcomes that exposed it."""
@@ -98,6 +106,10 @@ def run_one_injection(
             verdict.hang = False
             report = rerun
     matched = matcher(report, verdict) if (matcher and verdict.flagged) else []
+    diagnosis = _diagnose(system, dpoint, trigger, center, verdict, matched, report)
+    obs = get_obs()
+    if obs.enabled:
+        obs.diagnoses.append(diagnosis)
     return InjectionOutcome(
         dpoint=dpoint,
         fired=trigger.fired,
@@ -106,6 +118,47 @@ def run_one_injection(
         matched_bugs=matched,
         duration=report.duration,
         wall_seconds=_wallclock.perf_counter() - wall0,
+        diagnosis=diagnosis,
+    )
+
+
+def _diagnose(
+    system: SystemUnderTest,
+    dpoint: DynamicCrashPoint,
+    trigger: Trigger,
+    center: ControlCenter,
+    verdict: OracleVerdict,
+    matched: List[str],
+    report: RunReport,
+) -> InjectionDiagnosis:
+    """Assemble the per-injection diagnosis record from the run's actors."""
+    injection = center.injection
+    return InjectionDiagnosis(
+        system=system.name,
+        point=dpoint.point.describe(),
+        op=dpoint.point.op,
+        field_name=dpoint.point.field_name,
+        enclosing=dpoint.point.enclosing,
+        stack=list(dpoint.stack),
+        scale=dpoint.scale,
+        fired=trigger.fired,
+        hits=trigger.hits,
+        values=list(trigger.values),
+        resolved_value=injection.resolved_value if injection else "",
+        target_host=injection.target_host if injection else "",
+        via_fallback=injection.via_fallback if injection else False,
+        unresolved_values=list(center.unresolved_values),
+        store_size=center.store.size(),
+        action=injection.kind if injection else "",
+        injection_time=injection.time if injection else 0.0,
+        killed=list(injection.killed) if injection else [],
+        verdict_kinds=verdict.kinds(),
+        flagged=verdict.flagged,
+        matched_bugs=list(matched),
+        duration=report.duration,
+        events_processed=(
+            report.cluster.loop.events_processed if report.cluster is not None else 0
+        ),
     )
 
 
@@ -154,25 +207,40 @@ def run_campaign(
     wait: float = 1.0,
     random_fallback: bool = False,
     classify_timeouts: bool = True,
+    obs: Optional[Observability] = None,
 ) -> CampaignResult:
-    """Exercise every dynamic crash point, one run each (Figure 4)."""
+    """Exercise every dynamic crash point, one run each (Figure 4).
+
+    Args:
+        obs: observability context for the campaign.  When given it is
+            installed as the ambient context for the campaign's duration;
+            otherwise the already-ambient context (if any) is used.  The
+            result carries the context's metrics snapshot, and one
+            :class:`~repro.obs.InjectionDiagnosis` per point lands both on
+            the outcomes and on ``obs.diagnoses``.
+    """
     wall0 = _wallclock.perf_counter()
-    if baseline is None:
-        baseline = build_baseline(system, config=config)
-    outcomes: List[InjectionOutcome] = []
-    sim_seconds = 0.0
-    for dpoint in dynamic_points:
-        outcome = run_one_injection(
-            system, analysis, dpoint, baseline, seed=seed, config=config,
-            wait=wait, random_fallback=random_fallback,
-            classify_timeouts=classify_timeouts, matcher=matcher,
-        )
-        outcomes.append(outcome)
-        sim_seconds += outcome.duration
+    active = obs if obs is not None else get_obs()
+    with active:
+        with active.tracer.span("campaign", system=system.name,
+                                points=len(dynamic_points)):
+            if baseline is None:
+                baseline = build_baseline(system, config=config)
+            outcomes: List[InjectionOutcome] = []
+            sim_seconds = 0.0
+            for dpoint in dynamic_points:
+                outcome = run_one_injection(
+                    system, analysis, dpoint, baseline, seed=seed, config=config,
+                    wait=wait, random_fallback=random_fallback,
+                    classify_timeouts=classify_timeouts, matcher=matcher,
+                )
+                outcomes.append(outcome)
+                sim_seconds += outcome.duration
     return CampaignResult(
         system=system.name,
         outcomes=outcomes,
         baseline=baseline,
         wall_seconds=_wallclock.perf_counter() - wall0,
         sim_seconds=sim_seconds,
+        metrics=active.metrics.snapshot() if active.enabled else None,
     )

@@ -16,7 +16,7 @@ Table 5 were exposed) and an abrupt crash for remote targets, raising
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.cluster import Cluster
 from repro.core.injection.online_log import OnlineMetaStore
@@ -35,6 +35,10 @@ class InjectionRecord:
     value: str
     time: float
     killed: List[str] = field(default_factory=list)
+    #: the meta-info value the online store resolved to target_host
+    #: (empty when the random-node fallback picked the target)
+    resolved_value: str = ""
+    via_fallback: bool = False
 
 
 class ControlCenter:
@@ -56,35 +60,61 @@ class ControlCenter:
         self._rng = cluster.random.stream("control-center-fallback")
 
     # ------------------------------------------------------------------
-    def _resolve(self, values: List[str], executing: str) -> Optional[str]:
+    def _resolve(
+        self, values: List[str], executing: str
+    ) -> Tuple[Optional[str], str, bool]:
+        """Value -> node, via the online store or the random fallback.
+
+        Returns ``(target_host, resolved_value, via_fallback)``; the
+        resolved value is empty when the fallback picked the target.
+        """
         for value in values:
             host = self.store.query(value)
             if host is not None:
-                return host
+                return host, value, False
         self.unresolved_values.extend(values)
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter("inject.unresolved_values").inc(len(values))
         if self.random_fallback:
             candidates = [
                 n.host for n in self.cluster.nodes.values()
                 if n.role != "client" and not n.is_dead()
             ]
             if candidates:
-                return self._rng.choice(sorted(set(candidates)))
-        return None
+                target = self._rng.choice(sorted(set(candidates)))
+                if obs.enabled:
+                    obs.metrics.counter("inject.fallback_targets").inc()
+                    obs.tracer.event("inject.fallback", target=target,
+                                     values=list(values))
+                return target, "", True
+        return None, "", False
+
+    def _record(self, kind: str, target: str, values: List[str],
+                resolved_value: str, via_fallback: bool,
+                killed: List[str]) -> None:
+        self.injection = InjectionRecord(
+            kind=kind, target_host=target,
+            value=values[0] if values else "", time=self.cluster.loop.now,
+            killed=killed, resolved_value=resolved_value,
+            via_fallback=via_fallback,
+        )
+        obs = self.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "inject.crashes" if kind == "crash" else "inject.shutdowns"
+            ).inc()
 
     def shutdown_rpc(self, values: List[str], executing: str) -> bool:
         """Pre-read injection: graceful shutdown of the target + wait."""
         if self.injection is not None:
             return False
-        target = self._resolve(values, executing)
+        target, resolved_value, via_fallback = self._resolve(values, executing)
         if target is None:
             return False
         LOG.info("CrashTuner shutting down {} (pre-read injection)", target)
         killed = self.cluster.shutdown_host(target)
-        self.injection = InjectionRecord(
-            kind="shutdown", target_host=target,
-            value=values[0] if values else "", time=self.cluster.loop.now,
-            killed=killed,
-        )
+        self._record("shutdown", target, values, resolved_value, via_fallback, killed)
         # The instrumented wait: the reading thread blocks while the
         # departure is handled by the rest of the cluster.
         self.cluster.loop.pump(self.wait)
@@ -94,7 +124,7 @@ class ControlCenter:
         """Post-write injection: crash the target."""
         if self.injection is not None:
             return False
-        target = self._resolve(values, executing)
+        target, resolved_value, via_fallback = self._resolve(values, executing)
         if target is None:
             return False
         executing_host = ""
@@ -105,20 +135,12 @@ class ControlCenter:
             # module docstring); the write has already happened.
             LOG.info("CrashTuner shutting down {} (post-write self-target)", target)
             killed = self.cluster.shutdown_host(target)
-            self.injection = InjectionRecord(
-                kind="shutdown", target_host=target,
-                value=values[0] if values else "", time=self.cluster.loop.now,
-                killed=killed,
-            )
+            self._record("shutdown", target, values, resolved_value, via_fallback, killed)
             self.cluster.loop.pump(self.wait)
             return True
         LOG.info("CrashTuner crashing {} (post-write injection)", target)
         killed = self.cluster.crash_host(target)
-        self.injection = InjectionRecord(
-            kind="crash", target_host=target,
-            value=values[0] if values else "", time=self.cluster.loop.now,
-            killed=killed,
-        )
+        self._record("crash", target, values, resolved_value, via_fallback, killed)
         if executing in killed:
             raise NodeCrashedError(executing)
         return True

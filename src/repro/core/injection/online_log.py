@@ -18,6 +18,7 @@ from repro.core.analysis.meta_graph import host_in_value
 from repro.core.analysis.patterns import PatternIndex
 from repro.mtlog import LogCollector
 from repro.mtlog.records import LogRecord
+from repro.obs.context import get_obs
 
 
 class OnlineMetaStore:
@@ -79,6 +80,7 @@ class OnlineLogAgent:
         self.store = store
         self.records_seen = 0
         self.values_shipped = 0
+        self._obs = get_obs()
 
     def __call__(self, record: LogRecord) -> None:
         self.records_seen += 1
@@ -95,6 +97,11 @@ class OnlineLogAgent:
             return
         self.values_shipped += len(shipped)
         self.store.process(shipped)
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("onlinelog.values_shipped").inc(len(shipped))
+            metrics.gauge("onlinelog.store_size").set(self.store.size())
+            metrics.gauge("onlinelog.node_set_size").set(len(self.store.node_set))
 
     def attach(self, collector: LogCollector) -> None:
         collector.subscribe(self)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.obs.context import get_obs
 from repro.systems.base import RunReport, SystemUnderTest, run_workload
 
 Signature = Tuple[str, str, str, Optional[str]]
@@ -102,10 +103,17 @@ def evaluate_run(report: RunReport, baseline: Baseline) -> OracleVerdict:
         for record in report.log.records:
             if record.is_error and record.signature() not in baseline.signatures:
                 uncommon.append(str(record))
-    return OracleVerdict(
+    verdict = OracleVerdict(
         job_failure=report.job_failure,
         hang=report.hang,
         timeout_issue=False,
         uncommon_exceptions=uncommon,
         critical_aborts=list(report.critical_aborts),
     )
+    obs = get_obs()
+    if obs.enabled:
+        metrics = obs.metrics
+        for kind in verdict.kinds():
+            metrics.counter(f"oracle.{kind}").inc()
+        metrics.counter("oracle.flagged" if verdict.flagged else "oracle.clean").inc()
+    return verdict

@@ -10,7 +10,7 @@ stack, the control center is invoked with the accessed meta-info values.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.cluster.state import BUS, AccessEvent
 from repro.core.injection.control_center import ControlCenter
@@ -25,6 +25,8 @@ class Trigger:
         self.center = center
         self.fired = False
         self.hits = 0
+        #: the runtime meta-info values observed when the point fired
+        self.values: List[str] = []
         self._installed = False
 
     # ------------------------------------------------------------------
@@ -63,7 +65,13 @@ class Trigger:
         self.hits += 1
         self.fired = True  # each dynamic crash point is exercised once
         values = list(event.values)
-        if self.dpoint.point.op == "read":
-            self.center.shutdown_rpc(values, event.node)
-        else:
-            self.center.crash_rpc(values, event.node)
+        self.values = values
+        obs = self.center.cluster.obs
+        if obs.enabled:
+            obs.metrics.counter("inject.crash_points_visited").inc()
+        with obs.tracer.span("injection", point=self.dpoint.point.describe(),
+                             op=self.dpoint.point.op, node=event.node):
+            if self.dpoint.point.op == "read":
+                self.center.shutdown_rpc(values, event.node)
+            else:
+                self.center.crash_rpc(values, event.node)

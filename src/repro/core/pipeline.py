@@ -18,6 +18,7 @@ from repro.bugs import matcher_for_system
 from repro.core.analysis import AnalysisReport, analyze_system
 from repro.core.injection import Baseline, CampaignResult, build_baseline, run_campaign
 from repro.core.profiler import ProfileResult, profile_system
+from repro.obs import NULL_OBS, Observability
 from repro.systems.base import SystemUnderTest
 
 
@@ -30,6 +31,8 @@ class CrashTunerResult:
     profile: ProfileResult
     campaign: Optional[CampaignResult]
     wall_seconds: float
+    #: metrics snapshot of the whole run's observability context, if enabled
+    metrics: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # table views
@@ -55,6 +58,10 @@ class CrashTunerResult:
         row["total_wall_s"] = (
             row["analysis_wall_s"] + row["profile_wall_s"] + row["test_wall_s"]
         )
+        if self.metrics is not None:
+            counters = self.metrics.get("counters", {})
+            row["sim_events"] = counters.get("sim.events_processed", 0)
+            row["rpcs_sent"] = counters.get("net.rpcs_sent", 0)
         return row
 
     def table12_row(self) -> Dict[str, int]:
@@ -82,6 +89,7 @@ def crashtuner(
     random_fallback: bool = False,
     classify_timeouts: bool = True,
     max_points: Optional[int] = None,
+    obs: Optional[Observability] = None,
 ) -> CrashTunerResult:
     """Run CrashTuner end-to-end over one system.
 
@@ -89,27 +97,33 @@ def crashtuner(
         run_injection: phase 2 can be skipped for analysis-only callers.
         max_points: cap the number of dynamic crash points tested (for
             scaled-down benchmark runs; the full campaign tests all).
+        obs: observability context installed around all three phases;
+            the result carries its metrics snapshot and the campaign
+            collects one diagnosis per tested point into ``obs.diagnoses``.
     """
     wall0 = _wallclock.perf_counter()
-    analysis = analyze_system(system, seed=seed, config=config)
-    profile = profile_system(system, analysis, seed=seed, config=config)
-    campaign: Optional[CampaignResult] = None
-    if run_injection:
-        if baseline is None:
-            baseline = build_baseline(system, config=config)
-        points = profile.dynamic_points
-        if max_points is not None:
-            points = points[:max_points]
-        campaign = run_campaign(
-            system, analysis, points, seed=seed, config=config,
-            baseline=baseline, matcher=matcher_for_system(system.name),
-            wait=wait, random_fallback=random_fallback,
-            classify_timeouts=classify_timeouts,
-        )
+    active = obs if obs is not None else NULL_OBS
+    with active:
+        analysis = analyze_system(system, seed=seed, config=config)
+        profile = profile_system(system, analysis, seed=seed, config=config)
+        campaign: Optional[CampaignResult] = None
+        if run_injection:
+            if baseline is None:
+                baseline = build_baseline(system, config=config)
+            points = profile.dynamic_points
+            if max_points is not None:
+                points = points[:max_points]
+            campaign = run_campaign(
+                system, analysis, points, seed=seed, config=config,
+                baseline=baseline, matcher=matcher_for_system(system.name),
+                wait=wait, random_fallback=random_fallback,
+                classify_timeouts=classify_timeouts,
+            )
     return CrashTunerResult(
         system=system.name,
         analysis=analysis,
         profile=profile,
         campaign=campaign,
         wall_seconds=_wallclock.perf_counter() - wall0,
+        metrics=active.metrics.snapshot() if active.enabled else None,
     )

@@ -14,9 +14,16 @@ def format_table(
     rows: Sequence[Sequence[Any]],
     title: Optional[str] = None,
 ) -> str:
-    """Render an aligned ASCII table."""
+    """Render an aligned ASCII table.
+
+    Ragged rows are tolerated: short rows are padded with empty cells and
+    long rows widen the table (extra columns get empty headers), so
+    callers feeding heterogeneous diagnostic rows never crash the report.
+    """
     str_rows = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
+    columns = max([len(headers)] + [len(r) for r in str_rows]) if headers or str_rows else 0
+    padded_headers = list(headers) + [""] * (columns - len(headers))
+    widths = [len(h) for h in padded_headers]
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
@@ -24,10 +31,11 @@ def format_table(
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(padded_headers, widths)))
     lines.append(sep)
     for row in str_rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        padded = row + [""] * (columns - len(row))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(padded, widths)))
     return "\n".join(lines)
 
 

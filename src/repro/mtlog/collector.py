@@ -9,7 +9,7 @@ online log analysis of the injection phase) are notified in FIFO order.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.mtlog.records import LogRecord
 
@@ -23,12 +23,21 @@ class LogCollector:
         self.records: List[LogRecord] = []
         self.by_node: Dict[str, List[LogRecord]] = defaultdict(list)
         self._subscribers: List[Subscriber] = []
+        #: (subscriber, record, exception) for every isolated failure
+        self.subscriber_errors: List[Tuple[Subscriber, LogRecord, BaseException]] = []
 
     def collect(self, record: LogRecord) -> None:
         self.records.append(record)
         self.by_node[record.node].append(record)
-        for subscriber in self._subscribers:
-            subscriber(record)
+        # A subscriber is a live tail, not part of the system under test:
+        # one raising must neither abort the remaining subscribers nor
+        # leak into the logging node's handler (where the node's exception
+        # policy would misattribute it as a system failure).
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber(record)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self.subscriber_errors.append((subscriber, record, exc))
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Attach a live tail (e.g. the online log analysis agent)."""

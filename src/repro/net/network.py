@@ -34,6 +34,7 @@ class Network:
         self.cluster = cluster
         self.min_latency = min_latency
         self.max_latency = max_latency
+        self._obs = cluster.obs
         self._rng = cluster.random.stream("network-latency")
         self.delivered = 0
         self.dropped: List[Tuple[str, str]] = []  # (dst, method) of drops
@@ -53,6 +54,8 @@ class Network:
             payload=payload,
             send_time=self.cluster.loop.now,
         )
+        if self._obs.enabled:
+            self._obs.metrics.counter("net.rpcs_sent").inc()
         now = self.cluster.loop.now
         deliver_at = now + self.latency()
         channel = (src, dst)
@@ -69,12 +72,23 @@ class Network:
         return msg
 
     def _deliver(self, msg: Message) -> None:
+        obs = self._obs
         node = self.cluster.nodes.get(msg.dst)
         if node is None or not node.accepting_messages():
             self.dropped.append((msg.dst, msg.method))
+            if obs.enabled:
+                obs.metrics.counter("net.rpcs_dropped").inc()
+                obs.tracer.event("rpc.drop", src=msg.src, dst=msg.dst,
+                                 method=msg.method)
             return
         self.delivered += 1
-        node.dispatch_message(msg)
+        if obs.enabled:
+            obs.metrics.counter("net.rpcs_delivered").inc()
+            with obs.tracer.span("rpc", src=msg.src, dst=msg.dst,
+                                 method=msg.method):
+                node.dispatch_message(msg)
+        else:
+            node.dispatch_message(msg)
 
     def broadcast(self, src: str, dsts: List[str], method: str, **payload: Any) -> None:
         for dst in dsts:

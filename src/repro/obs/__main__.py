@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` — alias for :mod:`repro.obs.report`."""
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

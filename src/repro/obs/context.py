@@ -1,0 +1,81 @@
+"""The ambient observability context.
+
+One :class:`Observability` object bundles the tracer, the metrics
+registry, and the per-injection diagnosis sink for a run (or a whole
+campaign).  It installs itself as the ambient context via ``with``, the
+same pattern :mod:`repro.runtime` uses for the active cluster: low-level
+layers (the event loop, the network, the liveness monitors) read the
+ambient context at construction time instead of threading a parameter
+through every call.
+
+:data:`NULL_OBS` — the default — carries the null tracer and null
+registry and reports ``enabled = False``; instrumented hot paths check
+that flag first, so observability off costs one attribute read.
+
+Observation never perturbs the simulation: nothing here consumes the
+simulation RNG, schedules events, or touches the access bus, which is
+what the determinism regression test (obs on == obs off) pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
+
+
+class Observability:
+    """Tracer + metrics + diagnosis sink for one run or campaign."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[Union[Tracer, NullTracer]] = None,
+        metrics: Optional[Union[MetricsRegistry, NullMetricsRegistry]] = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: InjectionDiagnosis records appended by the campaign
+        self.diagnoses: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # ambient installation (a stack, so re-entering the already-ambient
+    # context — crashtuner() around run_campaign() — restores correctly)
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Observability":
+        global _current
+        _stack.append(_current)
+        _current = self
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _current
+        _current = _stack.pop() if _stack else NULL_OBS
+
+
+class _NullObservability(Observability):
+    """The default: everything off, everything shared, everything no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(tracer=NullTracer(), metrics=NullMetricsRegistry())
+
+    def __enter__(self) -> "_NullObservability":
+        return self  # installing the null context is a no-op
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+NULL_OBS = _NullObservability()
+
+_current: Observability = NULL_OBS
+_stack: List[Observability] = []
+
+
+def get_obs() -> Observability:
+    """The ambient observability context (NULL_OBS when none installed)."""
+    return _current

@@ -1,0 +1,136 @@
+"""Trace summarizing and diffing CLI.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl           # summarize one run
+    python -m repro.obs.report a.jsonl b.jsonl       # diff two runs
+
+The diff pairs diagnoses by crash point (e.g. an A1-ablation run with an
+optimization off against the default run) and reports metric deltas, so
+"what changed when I turned X off" is one command instead of an
+eyeballing session over two log directories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.core.report import format_table
+from repro.obs.diagnosis import InjectionDiagnosis, format_diagnoses
+from repro.obs.export import TraceData, read_trace_jsonl
+
+
+def summarize(trace: TraceData) -> str:
+    """Render one trace file for humans."""
+    parts: List[str] = []
+    if trace.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
+        parts.append(f"run: {meta}")
+
+    if trace.spans:
+        rollup: Dict[str, Tuple[int, float]] = defaultdict(lambda: (0, 0.0))
+        for span in trace.spans:
+            count, total = rollup[span.name]
+            rollup[span.name] = (count + 1, total + span.duration)
+        rows = [
+            [name, count, f"{total:.4f}"]
+            for name, (count, total) in sorted(rollup.items())
+        ]
+        parts.append(format_table(["span", "count", "sim-seconds"], rows,
+                                  title=f"Spans ({len(trace.spans)} total)"))
+
+    counters = trace.metrics.get("counters", {})
+    gauges = trace.metrics.get("gauges", {})
+    if counters or gauges:
+        rows = [[k, v] for k, v in sorted(counters.items())]
+        rows += [[k, v] for k, v in sorted(gauges.items())]
+        parts.append(format_table(["metric", "value"], rows, title="Metrics"))
+    histograms = trace.metrics.get("histograms", {})
+    if histograms:
+        rows = [
+            [k, h["count"], f"{h['mean']:.2f}", f"{h['min']:.2f}", f"{h['max']:.2f}"]
+            for k, h in sorted(histograms.items())
+        ]
+        parts.append(format_table(["histogram", "count", "mean", "min", "max"], rows))
+
+    if trace.diagnoses:
+        tally: Dict[str, int] = defaultdict(int)
+        for diagnosis in trace.diagnoses:
+            tally[diagnosis.outcome()] += 1
+        outcomes = ", ".join(f"{k}: {v}" for k, v in sorted(tally.items()))
+        parts.append(format_diagnoses(
+            trace.diagnoses,
+            title=f"Injection diagnoses ({len(trace.diagnoses)} points — {outcomes})",
+        ))
+    return "\n\n".join(parts) if parts else "(empty trace)"
+
+
+def _diagnosis_key(diagnosis: InjectionDiagnosis) -> Tuple:
+    return (diagnosis.point, tuple(diagnosis.stack))
+
+
+def diff(a: TraceData, b: TraceData) -> str:
+    """Render what changed between two runs (a -> b)."""
+    parts: List[str] = []
+
+    counters_a = a.metrics.get("counters", {})
+    counters_b = b.metrics.get("counters", {})
+    rows = []
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name, 0), counters_b.get(name, 0)
+        if va != vb:
+            rows.append([name, va, vb, f"{vb - va:+d}"])
+    if rows:
+        parts.append(format_table(["counter", "a", "b", "delta"], rows,
+                                  title="Metric deltas"))
+
+    by_key_a = {_diagnosis_key(d): d for d in a.diagnoses}
+    by_key_b = {_diagnosis_key(d): d for d in b.diagnoses}
+    rows = []
+    for key in sorted(set(by_key_a) | set(by_key_b), key=str):
+        da, db = by_key_a.get(key), by_key_b.get(key)
+        outcome_a = da.outcome() if da else "(absent)"
+        outcome_b = db.outcome() if db else "(absent)"
+        bugs_a = ",".join(da.matched_bugs) if da else ""
+        bugs_b = ",".join(db.matched_bugs) if db else ""
+        if outcome_a != outcome_b or bugs_a != bugs_b:
+            point = (da or db).point
+            rows.append([point, outcome_a, outcome_b,
+                         f"{bugs_a or '-'} -> {bugs_b or '-'}"])
+    if rows:
+        parts.append(format_table(["point", "outcome a", "outcome b", "bugs"], rows,
+                                  title="Diagnosis changes"))
+    else:
+        parts.append(
+            f"No diagnosis changes across {len(a.diagnoses)} vs "
+            f"{len(b.diagnoses)} points."
+        )
+    return "\n\n".join(parts)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize one trace JSONL, or diff two.",
+    )
+    parser.add_argument("trace", help="trace file written by repro.obs.export")
+    parser.add_argument("other", nargs="?", default=None,
+                        help="second trace; when given, print a diff instead")
+    args = parser.parse_args(argv)
+    try:
+        if args.other is None:
+            print(summarize(read_trace_jsonl(args.trace)))
+        else:
+            print(diff(read_trace_jsonl(args.trace),
+                       read_trace_jsonl(args.other)))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from repro.errors import NodeCrashedError, SimulationError
+from repro.obs.context import NULL_OBS, Observability
 from repro.sim.events import Event
 
 # Type of the hook invoked when a callback raises a non-crash exception.
@@ -50,6 +51,10 @@ class SimLoop:
         self._pump_depth = 0
         self._stopped = False
         self.exception_handler: Optional[ExceptionHandler] = None
+        #: observability sink; Cluster installs the ambient context here.
+        #: Observation must never schedule events or consume RNG — the
+        #: determinism tests compare runs with this on and off.
+        self.obs: Observability = NULL_OBS
 
     # ------------------------------------------------------------------
     # time and scheduling
@@ -202,6 +207,12 @@ class SimLoop:
             )
         self._now = event.time
         self._events_processed += 1
+        obs = self.obs
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("sim.events_processed").inc()
+            metrics.counter(f"sim.events.{event.kind}").inc()
+            metrics.histogram("sim.queue_depth").observe(len(self._queue))
         try:
             event.callback()
         except NodeCrashedError:

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cluster import Cluster
 from repro.mtlog import LogCollector
+from repro.obs.context import get_obs
 
 
 class Workload(abc.ABC):
@@ -137,14 +138,19 @@ def run_workload(
     cluster = system.build(seed=seed, config=config)
     workload = system.create_workload(scale)
     with cluster:
-        workload.install(cluster)
-        if before_run is not None:
-            before_run(cluster, workload)
-        cluster.start_all()
-        cluster.run(until=deadline, stop_when=lambda: workload.finished(cluster))
-        completed = workload.finished(cluster)
-        succeeded = completed and workload.succeeded(cluster)
-        finish_time = cluster.loop.now
+        with get_obs().tracer.span(
+            "workload", system=system.name, workload=workload.name,
+            seed=seed, scale=scale,
+        ) as span:
+            workload.install(cluster)
+            if before_run is not None:
+                before_run(cluster, workload)
+            cluster.start_all()
+            cluster.run(until=deadline, stop_when=lambda: workload.finished(cluster))
+            completed = workload.finished(cluster)
+            succeeded = completed and workload.succeeded(cluster)
+            finish_time = cluster.loop.now
+            span.set(completed=completed, succeeded=succeeded)
         if completed and cooldown > 0.0:
             # Let delayed symptoms surface (stale timers, leak auditors):
             # a test run observes the cluster for a grace period after the

@@ -43,6 +43,16 @@ def test_multi_crash_extension_runs():
     assert "pair runs" in proc.stdout
 
 
+def test_trace_campaign_writes_and_summarizes_a_trace(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    proc = run_example("trace_campaign.py", "yarn", "--points", "10",
+                       "--out", str(out), "--diff-fallback")
+    assert proc.returncode == 0, proc.stderr
+    assert "Injection diagnoses" in proc.stdout
+    assert "Metric deltas" in proc.stdout
+    assert out.exists() and out.read_text().count('"diagnosis"') == 10
+
+
 @pytest.mark.slow
 def test_find_yarn_bugs_runs_end_to_end():
     proc = run_example("find_yarn_bugs.py", timeout=600)

@@ -94,6 +94,38 @@ def test_collector_subscribers_see_live_records():
     assert seen  # lifecycle records flowed through
 
 
+def test_collector_isolates_raising_subscribers():
+    """Regression: one raising subscriber must not starve the others.
+
+    Before the fix, the exception aborted notification of every later
+    subscriber and escaped into the logging node's handler, where the
+    node's exception policy would misread it as a system failure.
+    """
+    c = Cluster("t")
+    notified = []
+
+    def bad(record):
+        raise RuntimeError("tail agent bug")
+
+    c.log_collector.subscribe(bad)
+    c.log_collector.subscribe(notified.append)
+    with c:
+        a = Talker(c, "a")
+        c.start_all()
+        a.send("a", "say", what="still-collected")
+        c.run()
+    # collection bookkeeping and later subscribers were unaffected
+    assert c.log_collector.grep("still-collected")
+    assert len(notified) == len(c.log_collector.records)
+    # every failure was recorded against the offending subscriber
+    assert c.log_collector.subscriber_errors
+    for subscriber, record, exc in c.log_collector.subscriber_errors:
+        assert subscriber is bad
+        assert isinstance(exc, RuntimeError)
+    # the log stream itself shows no abort: the node kept running
+    assert a.is_running()
+
+
 def test_error_records_and_signature():
     c = Cluster("t")
     with c:

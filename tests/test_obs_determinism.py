@@ -1,0 +1,63 @@
+"""Observability must observe, never perturb.
+
+The regression the ISSUE demands: a YARN campaign run with tracing and
+metrics enabled produces byte-identical campaign outcomes — including
+per-run simulated durations, event counts, and injection timestamps — as
+the same campaign with observability disabled.  Any drift means the
+instrumentation scheduled an event, consumed RNG, or touched the access
+bus, which would silently invalidate every traced experiment.
+"""
+
+import json
+
+from repro.bugs import matcher_for_system
+from repro.core.injection import run_campaign
+from repro.obs import Observability
+from tests.conftest import prepared
+
+
+_CACHE = {}
+
+
+def run_yarn_campaign(key, obs=None):
+    """Full-campaign runs are ~seconds each; cache them per test module."""
+    if key not in _CACHE:
+        system, analysis, profile, baseline = prepared("yarn")
+        _CACHE[key] = run_campaign(
+            system, analysis, profile.dynamic_points, baseline=baseline,
+            matcher=matcher_for_system("yarn"), obs=obs,
+        )
+    return _CACHE[key]
+
+
+def fingerprint(result):
+    """Byte-exact serialization of everything a campaign decides.
+
+    Diagnosis records are built with observability on *and* off, and
+    carry the per-run simulated duration, the sim-event count, and the
+    injection timestamp — so equal fingerprints pin both the outcomes
+    and the simulated event order.
+    """
+    return json.dumps(
+        [d.to_dict() for d in result.diagnoses()], sort_keys=True,
+    ).encode()
+
+
+def test_yarn_campaign_identical_with_observability_on_and_off():
+    plain = run_yarn_campaign("plain")
+    traced = run_yarn_campaign("traced-a", obs=Observability())
+    assert fingerprint(plain) == fingerprint(traced)
+    # aggregate views agree too
+    assert plain.sim_seconds == traced.sim_seconds
+    assert [o.fired for o in plain.outcomes] == [o.fired for o in traced.outcomes]
+    assert plain.detected_bugs().keys() == traced.detected_bugs().keys()
+    # and the traced run actually observed something
+    assert traced.metrics["counters"]["sim.events_processed"] > 0
+
+
+def test_observability_run_to_run_stability():
+    """Two traced runs agree with each other (no hidden wall-clock state)."""
+    a = run_yarn_campaign("traced-a", obs=Observability())
+    b = run_yarn_campaign("traced-b", obs=Observability())
+    assert fingerprint(a) == fingerprint(b)
+    assert a.metrics["counters"] == b.metrics["counters"]

@@ -34,6 +34,38 @@ def test_format_table_widens_to_longest_cell():
     assert "very-long-cell" in text.splitlines()[-1]
 
 
+def test_format_table_empty_rows_render_header_only():
+    text = format_table(["a", "bb"], [])
+    lines = text.splitlines()
+    assert lines[0] == "a | bb"
+    assert set(lines[1]) <= {"-", "+"}
+    assert len(lines) == 2
+
+
+def test_format_table_without_title_starts_at_header():
+    text = format_table(["x"], [["1"]])
+    assert text.splitlines()[0] == "x"
+
+
+def test_format_table_pads_short_rows():
+    text = format_table(["a", "b", "c"], [["1"], ["1", "2", "3"]])
+    lines = text.splitlines()
+    assert lines[2].count("|") == 2  # short row padded to full width
+    assert "3" in lines[3]
+
+
+def test_format_table_widens_for_long_rows():
+    text = format_table(["a"], [["1", "extra", "more"]])
+    lines = text.splitlines()
+    assert "extra" in lines[2] and "more" in lines[2]
+    assert lines[0].count("|") == 2  # header padded with empty columns
+
+
+def test_format_table_no_headers_no_rows():
+    text = format_table([], [])
+    assert text.splitlines()[0] == ""  # degenerate input must not crash
+
+
 def test_hours_rendering():
     assert hours(3600) == "1.00h"
     assert hours(1800) == "0.50h"
