@@ -9,7 +9,7 @@
 from benchmarks.conftest import full_result
 from repro.bugs import matcher_for_system
 from repro.core.analysis.static_points import compute_crash_points
-from repro.core.injection import run_campaign
+from repro.core.injection import CampaignConfig, run_campaign
 from repro.core.report import format_table
 from repro.systems import get_system
 
@@ -36,8 +36,8 @@ def ablate():
                   if o.fired and o.injection is None]
     fallback = run_campaign(
         get_system("yarn"), analysis, unresolved,
+        campaign=CampaignConfig(random_fallback=True, classify_timeouts=False),
         baseline=result.campaign.baseline, matcher=matcher_for_system("yarn"),
-        random_fallback=True, classify_timeouts=False,
     ) if unresolved else None
     return with_opt, without_opt, depth_counts, unresolved, fallback, result
 

@@ -1,0 +1,94 @@
+"""Campaign scaling — sequential vs parallel wall-clock on YARN.
+
+The parallel executor's contract is checked twice: the parallel run must
+produce *identical* outcomes to the sequential one (always), and on a
+machine with enough cores it must be at least 2x faster in wall clock
+(asserted only when >= 4 cores and >= 4 workers, so single-core CI boxes
+still validate correctness).  The measured numbers are written to
+``benchmarks/out/BENCH_campaign.json`` for the CI artifact.
+
+Set ``CRASHTUNER_BENCH_WORKERS`` to choose the parallel width (default:
+``min(4, cpu_count)``, floored at 2 so the parallel path always runs).
+"""
+
+import json
+import os
+
+from benchmarks.conftest import OUT_DIR, full_result
+from repro.api import CampaignConfig, get_system, run_campaign
+from repro.bugs import matcher_for_system
+from repro.core.report import format_table, hours, speedup
+
+
+def bench_workers() -> int:
+    env = os.environ.get("CRASHTUNER_BENCH_WORKERS")
+    if env:
+        return max(2, int(env))
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def _outcome_dicts(result):
+    dicts = [o.to_dict() for o in result.outcomes]
+    for d in dicts:
+        d.pop("wall_seconds")
+    return dicts
+
+
+def scale():
+    result = full_result("yarn")
+    analysis, points = result.analysis, result.profile.dynamic_points
+    baseline = result.campaign.baseline
+    matcher = matcher_for_system("yarn")
+    workers = bench_workers()
+
+    def campaign(n):
+        return run_campaign(get_system("yarn"), analysis, points,
+                            campaign=CampaignConfig(workers=n),
+                            baseline=baseline, matcher=matcher)
+
+    sequential = campaign(1)
+    parallel = campaign(workers)
+    return sequential, parallel, workers
+
+
+def test_campaign_scaling(benchmark, table_out):
+    sequential, parallel, workers = benchmark(scale)
+    cpu_count = os.cpu_count() or 1
+
+    # correctness first: the parallel campaign is outcome-identical
+    assert _outcome_dicts(parallel) == _outcome_dicts(sequential)
+    assert sorted(parallel.detected_bugs()) == sorted(sequential.detected_bugs())
+    assert parallel.sim_seconds == sequential.sim_seconds
+    assert parallel.workers == workers
+
+    wall_speedup = sequential.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    record = {
+        "system": "yarn",
+        "points": len(sequential.outcomes),
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "sequential_wall_s": round(sequential.wall_seconds, 3),
+        "parallel_wall_s": round(parallel.wall_seconds, 3),
+        "speedup": round(wall_speedup, 3),
+        "realized_parallelism": round(parallel.speedup, 3),
+        "test_sim_hours": hours(sequential.sim_seconds),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_campaign.json").write_text(json.dumps(record, indent=2) + "\n")
+
+    # the acceptance bar: >= 2x on a machine that can actually go 2x wide
+    if cpu_count >= 4 and workers >= 4:
+        assert wall_speedup >= 2.0, (
+            f"parallel campaign only {wall_speedup:.2f}x faster "
+            f"({workers} workers on {cpu_count} cores)")
+
+    table_out(format_table(
+        ["Mode", "Workers", "Wall (s)", "Speedup", "Test (sim)"],
+        [
+            ["sequential", 1, f"{sequential.wall_seconds:.2f}",
+             speedup(1.0), hours(sequential.sim_seconds)],
+            ["parallel", workers, f"{parallel.wall_seconds:.2f}",
+             speedup(wall_speedup), hours(parallel.sim_seconds)],
+        ],
+        title=f"Campaign scaling on yarn ({cpu_count} cores)",
+    ))

@@ -6,7 +6,7 @@ dominates and scales with the number of dynamic crash points.
 """
 
 from benchmarks.conftest import PAPER_SYSTEMS, full_result
-from repro.core.report import format_table, hours
+from repro.core.report import format_table, hours, speedup
 
 
 def build_table11():
@@ -27,6 +27,8 @@ def test_table11_times(benchmark, table_out):
             f"{t['test_wall_s']:.2f}s",
             hours(t["test_sim_s"]),
             points,
+            t["workers"],
+            speedup(t["test_speedup"]),
         ])
     # analysis finishes within minutes (the paper: < 5 min per system)
     assert all(data[name][0]["analysis_wall_s"] < 300 for name in PAPER_SYSTEMS)
@@ -38,6 +40,6 @@ def test_table11_times(benchmark, table_out):
     assert sim["yarn"] > sim["zookeeper"]
     table_out(format_table(
         ["System", "Analysis (wall)", "Profile (wall)", "Test (wall)",
-         "Test (sim)", "Dynamic CPs"], rows,
+         "Test (sim)", "Dynamic CPs", "Workers", "Speedup"], rows,
         title="Table 11: analysis and testing times",
     ))

@@ -9,7 +9,7 @@ prints the per-run efficiency comparison the paper's Tables 7 and 9 make.
 
 import sys
 
-from repro import crashtuner, get_system
+from repro.api import crashtuner, get_system
 from repro.bugs import matcher_for_system
 from repro.core.baselines import (
     find_io_points,

@@ -8,7 +8,7 @@ Then re-runs one marquee bug (YARN-9164, Figure 10) against the *patched*
 build to show the fix removing the crash point.
 """
 
-from repro import crashtuner, get_system
+from repro.api import crashtuner, get_system
 from repro.bugs import get_bug, seeded_bugs
 from repro.core.analysis import analyze_system
 from repro.core.profiler import profile_system

@@ -6,24 +6,27 @@ exactly where the code reads or writes *meta-info* — variables referencing
 high-level system state.  This script runs the whole pipeline on the
 miniature Cassandra (the fastest system) and prints what it found.
 
-    python examples/quickstart.py [system]
+    python examples/quickstart.py [system] [workers]
 
-where ``system`` is one of: yarn hdfs hbase zookeeper cassandra kube.
+where ``system`` is one of: yarn hdfs hbase zookeeper cassandra kube and
+``workers`` parallelizes the injection campaign (same results, less wall
+clock on a multi-core machine).
 """
 
 import sys
 
-from repro import crashtuner, get_system
+from repro.api import CampaignConfig, crashtuner, get_system
 from repro.bugs import get_bug
 
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "cassandra"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     system = get_system(name)
     print(f"=== CrashTuner on {system.name} {system.version} "
           f"(workload: {system.workload_name}) ===\n")
 
-    result = crashtuner(system)
+    result = crashtuner(system, campaign=CampaignConfig(workers=workers))
 
     totals = result.table10_row()
     print("Phase 1 — analysis:")

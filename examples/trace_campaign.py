@@ -11,17 +11,22 @@ diff between the two traces.
 
 Usage::
 
-    python examples/trace_campaign.py [system] [--points N]
-        [--out trace.jsonl] [--diff-fallback]
+    python examples/trace_campaign.py [system] [--points N] [--workers N]
+        [--journal campaign.jsonl] [--out trace.jsonl] [--diff-fallback]
+
+``--workers`` fans the campaign over a process pool (the merged trace is
+identical to a sequential run); ``--journal`` checkpoints each outcome so
+a killed campaign resumes where it left off.
 """
 
 import argparse
 import tempfile
 from pathlib import Path
 
+from repro.api import CampaignConfig, run_campaign
 from repro.bugs import matcher_for_system
 from repro.core.analysis import analyze_system
-from repro.core.injection import build_baseline, run_campaign
+from repro.core.injection import build_baseline
 from repro.core.profiler import profile_system
 from repro.obs import Observability, Tracer, write_trace_jsonl
 from repro.obs.report import diff, summarize
@@ -29,14 +34,14 @@ from repro.obs.export import read_trace_jsonl
 from repro.systems import get_system
 
 
-def traced_campaign(system, analysis, profile, baseline, points, fallback):
+def traced_campaign(system, analysis, profile, baseline, points, fallback,
+                    workers=1, journal=None):
     obs = Observability(tracer=Tracer(max_spans=20_000))
+    cfg = CampaignConfig(random_fallback=fallback, max_points=points,
+                         workers=workers, journal_path=journal)
     result = run_campaign(
-        system, analysis,
-        profile.dynamic_points if points is None
-        else profile.dynamic_points[:points],
-        baseline=baseline, matcher=matcher_for_system(system.name),
-        random_fallback=fallback, obs=obs,
+        system, analysis, profile.dynamic_points, campaign=cfg,
+        baseline=baseline, matcher=matcher_for_system(system.name), obs=obs,
     )
     return obs, result
 
@@ -46,6 +51,10 @@ def main() -> None:
     parser.add_argument("system", nargs="?", default="yarn")
     parser.add_argument("--points", type=int, default=None,
                         help="cap the number of dynamic crash points tested")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel injection workers (1 = sequential)")
+    parser.add_argument("--journal", default=None,
+                        help="checkpoint outcomes here; rerun to resume")
     parser.add_argument("--out", default=None, help="trace JSONL path")
     parser.add_argument("--diff-fallback", action="store_true",
                         help="also run with random_fallback=True and diff")
@@ -58,7 +67,8 @@ def main() -> None:
     baseline = build_baseline(system)
 
     obs, result = traced_campaign(system, analysis, profile, baseline,
-                                  args.points, fallback=False)
+                                  args.points, fallback=False,
+                                  workers=args.workers, journal=args.journal)
     out = Path(args.out) if args.out else Path(tempfile.gettempdir()) / (
         f"crashtuner-{system.name}.jsonl")
     write_trace_jsonl(out, obs=obs, meta={"system": system.name,

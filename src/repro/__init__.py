@@ -1,30 +1,49 @@
 """CrashTuner (SOSP 2019) reproduction.
 
 Detecting crash-recovery bugs in cloud systems via meta-info analysis, on
-a fully simulated cloud-system substrate.  The public API:
+a fully simulated cloud-system substrate.  The supported public API lives
+in :mod:`repro.api` and is re-exported here:
 
 * :func:`repro.crashtuner` — run the tool end-to-end over a system,
+* :class:`repro.CampaignConfig` — campaign knobs, parallel ``workers``,
+  and the checkpoint ``journal_path``,
 * :func:`repro.get_system` / :func:`repro.all_systems` — the systems under
   test (Table 4),
 * :func:`repro.run_workload` — drive one clean or fault-injected run,
+* :class:`repro.Observability` — opt-in tracing/metrics/diagnoses,
 * :mod:`repro.bugs` — the bug catalog (Tables 1, 5, 6, 13).
 
->>> from repro import crashtuner, get_system
->>> result = crashtuner(get_system("yarn"))
+>>> from repro import CampaignConfig, crashtuner, get_system
+>>> result = crashtuner(get_system("yarn"), campaign=CampaignConfig(workers=4))
 >>> sorted(result.detected_bugs())  # doctest: +SKIP
 ['MR-3858', 'MR-7178', ...]
 """
 
-from repro.core.pipeline import CrashTunerResult, crashtuner
-from repro.systems import all_systems, get_system, run_workload
+from repro.api import (
+    CampaignConfig,
+    CampaignResult,
+    CrashTunerResult,
+    Observability,
+    all_systems,
+    crashtuner,
+    get_system,
+    run_campaign,
+    run_workload,
+)
+from repro import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignResult",
     "CrashTunerResult",
+    "Observability",
     "all_systems",
+    "api",
     "crashtuner",
     "get_system",
+    "run_campaign",
     "run_workload",
     "__version__",
 ]

@@ -1,0 +1,60 @@
+"""The stable public API of the CrashTuner reproduction.
+
+Import from here (or from :mod:`repro`, which re-exports the same names)
+and your code survives internal refactors; everything else under
+``repro.*`` is implementation detail and may move between releases.
+
+The supported surface:
+
+* :func:`crashtuner` / :class:`CrashTunerResult` — the end-to-end
+  pipeline over one system,
+* :func:`run_campaign` / :class:`CampaignResult` — just the
+  fault-injection phase, over pre-computed dynamic crash points,
+* :class:`CampaignConfig` — the one frozen config object for both
+  (oracle knobs, seed, ``workers`` for parallel campaigns,
+  ``journal_path`` for checkpoint/resume),
+* :class:`Observability` — opt-in tracing/metrics/diagnoses, passed as
+  ``obs=``,
+* :func:`get_system` / :func:`all_systems` / :func:`run_workload` — the
+  simulated systems under test (Table 4),
+* :func:`build_baseline` / :class:`Baseline` and
+  :func:`matcher_for_system` — the clean-run oracle baseline and the
+  bug-attribution matchers ``run_campaign`` consumes.
+
+>>> from repro.api import CampaignConfig, crashtuner, get_system
+>>> result = crashtuner(get_system("yarn"), campaign=CampaignConfig(workers=4))
+>>> sorted(result.detected_bugs())  # doctest: +SKIP
+['MR-3858', 'MR-7178', ...]
+"""
+
+# repro.core must initialize before repro.bugs: bugs.records reaches back
+# into repro.core.injection.oracles, which is fine only once core's own
+# import of repro.bugs (from pipeline) has already completed.
+from repro.core.pipeline import CrashTunerResult, crashtuner
+from repro.bugs import matcher_for_system
+from repro.core.injection import (
+    Baseline,
+    CampaignConfig,
+    CampaignResult,
+    InjectionOutcome,
+    build_baseline,
+    run_campaign,
+)
+from repro.obs import Observability
+from repro.systems import all_systems, get_system, run_workload
+
+__all__ = [
+    "Baseline",
+    "CampaignConfig",
+    "CampaignResult",
+    "CrashTunerResult",
+    "InjectionOutcome",
+    "Observability",
+    "all_systems",
+    "build_baseline",
+    "crashtuner",
+    "get_system",
+    "matcher_for_system",
+    "run_campaign",
+    "run_workload",
+]

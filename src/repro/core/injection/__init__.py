@@ -1,12 +1,14 @@
 """CrashTuner phase 2: fault-injection testing (Figure 4, bottom half)."""
 
 from repro.core.injection.campaign import (
+    CampaignConfig,
     CampaignResult,
     InjectionOutcome,
     run_campaign,
     run_one_injection,
 )
 from repro.core.injection.control_center import ControlCenter, InjectionRecord
+from repro.core.injection.executor import CampaignJournal, JournalMismatch
 from repro.core.injection.online_log import OnlineLogAgent, OnlineMetaStore
 from repro.core.injection.oracles import (
     Baseline,
@@ -18,8 +20,11 @@ from repro.core.injection.trigger import Trigger
 
 __all__ = [
     "Baseline",
+    "CampaignConfig",
+    "CampaignJournal",
     "CampaignResult",
     "ControlCenter",
+    "JournalMismatch",
     "InjectionOutcome",
     "InjectionRecord",
     "OnlineLogAgent",

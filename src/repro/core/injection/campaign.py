@@ -5,13 +5,23 @@ agent feeds the meta-info store, the trigger arms the point, the control
 center injects the fault, and the oracles judge the outcome.  Flagged
 hangs are optionally re-run with an extended deadline to separate the
 paper's "timeout issues" (Section 4.1.3) from true hangs.
+
+How a campaign runs is described by one frozen :class:`CampaignConfig`
+(the stable public knobs, see :mod:`repro.api`); because every injection
+is an isolated, seed-deterministic simulation, ``workers > 1`` fans the
+runs out over a process pool (:mod:`repro.core.injection.executor`) with
+outcomes, diagnoses, metrics, and spans merged back in deterministic
+point order — a parallel campaign is report-identical to a sequential
+one, only ``wall_seconds`` differs.
 """
 
 from __future__ import annotations
 
 import time as _wallclock
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.analysis import AnalysisReport
 from repro.core.injection.control_center import ControlCenter, InjectionRecord
@@ -28,6 +38,72 @@ BugMatcherFn = Callable[[RunReport, OracleVerdict], List[str]]
 #: grace period after workload completion, so delayed symptoms (stale
 #: timers, leak auditors) land in the observed logs
 COOLDOWN = 10.0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """How a fault-injection campaign runs (the stable public knobs).
+
+    Replaces the loose ``seed``/``wait``/... kwargs that used to be
+    threaded through ``crashtuner`` → ``run_campaign`` →
+    ``run_one_injection``; those kwargs remain as deprecation shims for
+    one release.
+
+    Attributes:
+        wait: simulated seconds the reading thread blocks after a
+            pre-read shutdown (the paper's instrumented wait).
+        random_fallback: target a random live node when no meta-info
+            value resolves (paper Section 3.2.2).
+        classify_timeouts: re-run flagged hangs with an extended deadline
+            to separate "timeout issues" from true hangs (Section 4.1.3).
+        max_points: cap the number of dynamic crash points tested
+            (``None`` tests all).
+        seed: RNG seed for every cluster run of the campaign.
+        workers: worker processes for the injection phase; ``1`` runs
+            in-process, ``N > 1`` fans points out over a pool and merges
+            results in deterministic point order.
+        journal_path: when set, a JSONL checkpoint journal of per-point
+            outcomes; an interrupted campaign re-run with the same
+            journal resumes at the first untested point.
+    """
+
+    wait: float = 1.0
+    random_fallback: bool = False
+    classify_timeouts: bool = True
+    max_points: Optional[int] = None
+    seed: int = 0
+    workers: int = 1
+    journal_path: Optional[Union[str, Path]] = None
+
+    def replace(self, **overrides: Any) -> "CampaignConfig":
+        """A copy with the given fields replaced (the config is frozen)."""
+        return replace(self, **overrides)
+
+
+def _coerce_campaign(
+    campaign: Optional[Union["CampaignConfig", int]],
+    legacy: Dict[str, Any],
+    caller: str,
+) -> CampaignConfig:
+    """Fold deprecated loose kwargs into one CampaignConfig.
+
+    ``campaign`` may arrive as an int from pre-CampaignConfig call sites
+    that passed ``seed`` in this position; that and every non-``None``
+    entry of ``legacy`` is accepted with a DeprecationWarning (shims kept
+    for one release).
+    """
+    if isinstance(campaign, int):
+        legacy = dict(legacy, seed=campaign)
+        campaign = None
+    overrides = {k: v for k, v in legacy.items() if v is not None}
+    if overrides:
+        warnings.warn(
+            f"{caller}: keyword(s) {', '.join(sorted(overrides))} are deprecated; "
+            f"pass campaign=CampaignConfig(...) instead",
+            DeprecationWarning, stacklevel=3,
+        )
+    config = campaign if campaign is not None else CampaignConfig()
+    return config.replace(**overrides) if overrides else config
 
 
 @dataclass
@@ -48,6 +124,41 @@ class InjectionOutcome:
     def flagged(self) -> bool:
         return self.verdict.flagged
 
+    # ------------------------------------------------------------------
+    # journal round-trip: everything but the dynamic point itself, which
+    # the campaign re-attaches by index (it is not JSON-able losslessly)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.dpoint.describe(),
+            "fired": self.fired,
+            "injection": self.injection.to_dict() if self.injection else None,
+            "verdict": self.verdict.to_dict(),
+            "matched_bugs": list(self.matched_bugs),
+            "duration": self.duration,
+            "wall_seconds": self.wall_seconds,
+            "diagnosis": self.diagnosis.to_dict() if self.diagnosis else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], dpoint: DynamicCrashPoint) -> "InjectionOutcome":
+        return cls(
+            dpoint=dpoint,
+            fired=data["fired"],
+            injection=(
+                InjectionRecord.from_dict(data["injection"])
+                if data.get("injection") else None
+            ),
+            verdict=OracleVerdict.from_dict(data["verdict"]),
+            matched_bugs=list(data.get("matched_bugs", [])),
+            duration=data.get("duration", 0.0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            diagnosis=(
+                InjectionDiagnosis.from_dict(data["diagnosis"])
+                if data.get("diagnosis") else None
+            ),
+        )
+
 
 @dataclass
 class CampaignResult:
@@ -59,6 +170,16 @@ class CampaignResult:
     sim_seconds: float
     #: metrics snapshot of the campaign's observability context, if enabled
     metrics: Optional[Dict[str, Any]] = None
+    #: worker processes the campaign ran with (CampaignConfig.workers)
+    workers: int = 1
+    #: outcomes restored from the journal instead of re-run
+    resumed: int = 0
+
+    @property
+    def speedup(self) -> float:
+        """Realized parallelism: summed per-run wall time / campaign wall time."""
+        worked = sum(o.wall_seconds for o in self.outcomes)
+        return worked / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def flagged(self) -> List[InjectionOutcome]:
         return [o for o in self.outcomes if o.flagged]
@@ -80,25 +201,32 @@ def run_one_injection(
     analysis: AnalysisReport,
     dpoint: DynamicCrashPoint,
     baseline: Baseline,
-    seed: int = 0,
+    campaign: Optional[Union[CampaignConfig, int]] = None,
     config: Optional[Dict[str, Any]] = None,
-    wait: float = 1.0,
-    random_fallback: bool = False,
-    extended_factor: float = 400.0,
-    classify_timeouts: bool = True,
     matcher: Optional[BugMatcherFn] = None,
+    extended_factor: float = 400.0,
+    # deprecated loose kwargs (one release): fold into CampaignConfig
+    seed: Optional[int] = None,
+    wait: Optional[float] = None,
+    random_fallback: Optional[bool] = None,
+    classify_timeouts: Optional[bool] = None,
 ) -> InjectionOutcome:
     """Test one dynamic crash point (optionally re-running flagged hangs)."""
+    cfg = _coerce_campaign(campaign, {
+        "seed": seed, "wait": wait, "random_fallback": random_fallback,
+        "classify_timeouts": classify_timeouts,
+    }, "run_one_injection")
     wall0 = _wallclock.perf_counter()
     report, trigger, center = _drive(
-        system, analysis, dpoint, seed, config, wait, random_fallback, deadline=None,
+        system, analysis, dpoint, cfg.seed, config, cfg.wait,
+        cfg.random_fallback, deadline=None,
     )
     verdict = evaluate_run(report, baseline)
-    if verdict.hang and classify_timeouts and trigger.fired:
+    if verdict.hang and cfg.classify_timeouts and trigger.fired:
         extended = system.base_runtime() * extended_factor * max(1, dpoint.scale)
         rerun, trigger2, _ = _drive(
-            system, analysis, dpoint, seed, config, wait, random_fallback,
-            deadline=extended,
+            system, analysis, dpoint, cfg.seed, config, cfg.wait,
+            cfg.random_fallback, deadline=extended,
         )
         if rerun.completed:
             verdict = evaluate_run(rerun, baseline)
@@ -200,47 +328,64 @@ def run_campaign(
     system: SystemUnderTest,
     analysis: AnalysisReport,
     dynamic_points: List[DynamicCrashPoint],
-    seed: int = 0,
+    campaign: Optional[Union[CampaignConfig, int]] = None,
     config: Optional[Dict[str, Any]] = None,
     baseline: Optional[Baseline] = None,
     matcher: Optional[BugMatcherFn] = None,
-    wait: float = 1.0,
-    random_fallback: bool = False,
-    classify_timeouts: bool = True,
     obs: Optional[Observability] = None,
+    # deprecated loose kwargs (one release): fold into CampaignConfig
+    seed: Optional[int] = None,
+    wait: Optional[float] = None,
+    random_fallback: Optional[bool] = None,
+    classify_timeouts: Optional[bool] = None,
 ) -> CampaignResult:
     """Exercise every dynamic crash point, one run each (Figure 4).
 
     Args:
+        campaign: the :class:`CampaignConfig` for this campaign —
+            ``workers > 1`` runs points on a worker pool,
+            ``journal_path`` checkpoints per-point outcomes for resume,
+            ``max_points`` caps the points tested.
+        baseline: clean-run baseline; built (and traced) here exactly
+            once when ``None``.
         obs: observability context for the campaign.  When given it is
             installed as the ambient context for the campaign's duration;
             otherwise the already-ambient context (if any) is used.  The
             result carries the context's metrics snapshot, and one
             :class:`~repro.obs.InjectionDiagnosis` per point lands both on
-            the outcomes and on ``obs.diagnoses``.
+            the outcomes and on ``obs.diagnoses`` — identically whether
+            the campaign ran sequentially or on a worker pool.
     """
+    # imported lazily: the executor module imports this one
+    from repro.core.injection.executor import execute_points
+
+    cfg = _coerce_campaign(campaign, {
+        "seed": seed, "wait": wait, "random_fallback": random_fallback,
+        "classify_timeouts": classify_timeouts,
+    }, "run_campaign")
     wall0 = _wallclock.perf_counter()
     active = obs if obs is not None else get_obs()
+    points = list(dynamic_points)
+    if cfg.max_points is not None:
+        points = points[:cfg.max_points]
     with active:
         with active.tracer.span("campaign", system=system.name,
-                                points=len(dynamic_points)):
+                                points=len(points), workers=cfg.workers) as span:
             if baseline is None:
-                baseline = build_baseline(system, config=config)
-            outcomes: List[InjectionOutcome] = []
-            sim_seconds = 0.0
-            for dpoint in dynamic_points:
-                outcome = run_one_injection(
-                    system, analysis, dpoint, baseline, seed=seed, config=config,
-                    wait=wait, random_fallback=random_fallback,
-                    classify_timeouts=classify_timeouts, matcher=matcher,
-                )
-                outcomes.append(outcome)
-                sim_seconds += outcome.duration
+                with active.tracer.span("baseline", system=system.name):
+                    baseline = build_baseline(system, config=config)
+            outcomes, resumed = execute_points(
+                system, analysis, points, baseline,
+                matcher=matcher, cfg=cfg, config=config,
+                active=active, campaign_span=span,
+            )
     return CampaignResult(
         system=system.name,
         outcomes=outcomes,
         baseline=baseline,
         wall_seconds=_wallclock.perf_counter() - wall0,
-        sim_seconds=sim_seconds,
+        sim_seconds=sum(o.duration for o in outcomes),
         metrics=active.metrics.snapshot() if active.enabled else None,
+        workers=cfg.workers,
+        resumed=resumed,
     )

@@ -15,8 +15,8 @@ Table 5 were exposed) and an abrupt crash for remote targets, raising
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster import Cluster
 from repro.core.injection.online_log import OnlineMetaStore
@@ -39,6 +39,14 @@ class InjectionRecord:
     #: (empty when the random-node fallback picked the target)
     resolved_value: str = ""
     via_fallback: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "InjectionRecord":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class ControlCenter:

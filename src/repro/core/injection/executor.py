@@ -1,0 +1,377 @@
+"""Parallel execution of injection campaigns, with checkpoint/resume.
+
+Every injection run is an isolated, seed-deterministic simulation — one
+fresh cluster per dynamic crash point — which makes the campaign's hot
+loop embarrassingly parallel.  :func:`execute_points` fans pending points
+out over a ``fork``-based process pool and merges everything back **in
+deterministic point order**, so a parallel campaign is outcome- and
+report-identical to a sequential one (only wall-clock differs):
+
+* **outcomes** are collected as futures complete but emitted in point
+  order;
+* **diagnoses** land on the ambient ``Observability`` in point order;
+* **metrics** from each worker's private registry are folded in point
+  order (counters summed, histograms merged, gauges last-write-wins —
+  see :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`);
+* **spans** from each worker's private tracer are re-stitched under the
+  campaign span with ids remapped to exactly the ids a sequential run
+  would have allocated (see :meth:`~repro.obs.tracer.Tracer.adopt`).
+
+The worker model relies on the ``fork`` start method: the parent primes
+module-level state (system, analysis, baseline, matcher — some of which
+are deliberately not picklable) right before the pool forks, and workers
+inherit it; only point indices go in and picklable
+:class:`~repro.core.injection.campaign.InjectionOutcome` records plus
+span/metric payloads come back.  Where ``fork`` is unavailable the
+campaign falls back to sequential execution with a warning.
+
+The journal (``CampaignConfig.journal_path``) is an append-only JSONL
+checkpoint: one ``campaign-meta`` line pinning the campaign's identity
+(system, seed, knobs, point count, config fingerprint) and one
+``outcome`` line per tested point.  A re-run with the same journal
+restores recorded outcomes — diagnoses included — and only tests the
+points the interrupted run never reached.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.analysis import AnalysisReport
+from repro.core.injection.campaign import (
+    BugMatcherFn,
+    CampaignConfig,
+    InjectionOutcome,
+    run_one_injection,
+)
+from repro.core.injection.oracles import Baseline
+from repro.core.profiler import DynamicCrashPoint
+from repro.obs import Observability
+from repro.systems.base import SystemUnderTest
+
+JOURNAL_VERSION = 1
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk was written by a different campaign."""
+
+
+def _canonical_config(config: Optional[Dict[str, Any]]) -> str:
+    """A stable fingerprint of the cluster config (hash-order independent)."""
+    if not config:
+        return ""
+    items = []
+    for key in sorted(config):
+        value = config[key]
+        if isinstance(value, (set, frozenset)):
+            value = sorted(value)
+        items.append((key, repr(value)))
+    return repr(items)
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of per-point campaign outcomes."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+        #: byte length of the valid line prefix (a kill mid-write leaves a
+        #: torn unterminated tail, truncated away before appending)
+        self._keep_bytes: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def meta_for(
+        system: SystemUnderTest,
+        points: List[DynamicCrashPoint],
+        cfg: CampaignConfig,
+        config: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """What identifies a campaign: same meta -> same outcomes."""
+        return {
+            "version": JOURNAL_VERSION,
+            "system": system.name,
+            "seed": cfg.seed,
+            "wait": cfg.wait,
+            "random_fallback": cfg.random_fallback,
+            "classify_timeouts": cfg.classify_timeouts,
+            "n_points": len(points),
+            "config": _canonical_config(config),
+        }
+
+    def load(
+        self,
+        points: List[DynamicCrashPoint],
+        meta: Dict[str, Any],
+    ) -> Dict[int, InjectionOutcome]:
+        """Outcomes already journaled, keyed by point index.
+
+        Raises :class:`JournalMismatch` when the journal belongs to a
+        different campaign (different system, seed, knobs, config, or
+        point list) — mixing outcomes across campaigns would silently
+        corrupt results.  Entries whose recorded point key no longer
+        matches are ignored (treated as untested).
+        """
+        loaded: Dict[int, InjectionOutcome] = {}
+        if not self.path.exists():
+            return loaded
+        raw = self.path.read_bytes()
+        offset = 0
+        for chunk in raw.split(b"\n"):
+            line = chunk.decode("utf-8", errors="replace").strip()
+            if not line:
+                offset += len(chunk) + 1
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # a kill mid-write leaves one torn, unterminated tail;
+                # remember where it starts so open_append truncates it
+                self._keep_bytes = offset
+                break
+            offset += len(chunk) + 1
+            kind = record.pop("type", None)
+            if kind == "campaign-meta":
+                if record != meta:
+                    raise JournalMismatch(
+                        f"{self.path}: journal was written by a different "
+                        f"campaign (journal {record!r} != current {meta!r}); "
+                        f"delete the file to start over"
+                    )
+            elif kind == "outcome":
+                index = record.get("index", -1)
+                if not 0 <= index < len(points):
+                    continue
+                if record.get("key") != repr(points[index].key()):
+                    continue
+                loaded[index] = InjectionOutcome.from_dict(
+                    record["data"], points[index]
+                )
+        return loaded
+
+    # ------------------------------------------------------------------
+    def open_append(self, meta: Dict[str, Any], fresh: bool) -> None:
+        if self._keep_bytes is not None:
+            with self.path.open("r+b") as fh:
+                fh.truncate(self._keep_bytes)
+            self._keep_bytes = None
+        self._fh = self.path.open("a", encoding="utf-8")
+        if fresh:
+            self._fh.write(json.dumps({"type": "campaign-meta", **meta}) + "\n")
+            self._fh.flush()
+
+    def record(self, index: int, dpoint: DynamicCrashPoint,
+               outcome: InjectionOutcome) -> None:
+        assert self._fh is not None, "journal not opened for append"
+        self._fh.write(json.dumps({
+            "type": "outcome",
+            "index": index,
+            "key": repr(dpoint.key()),
+            "data": outcome.to_dict(),
+        }) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ---------------------------------------------------------------------------
+# the worker side
+# ---------------------------------------------------------------------------
+#: primed by the parent immediately before the pool forks; inherited by
+#: workers through fork (never pickled — analysis and matchers are not)
+_WORKER_STATE: Optional[Dict[str, Any]] = None
+
+
+def _worker_run(index: int) -> Tuple[int, InjectionOutcome, Optional[Dict[str, Any]]]:
+    """Test one point in a forked worker; ships back outcome + telemetry."""
+    state = _WORKER_STATE
+    assert state is not None, "worker forked before state was primed"
+    dpoint = state["points"][index]
+    if not state["observed"]:
+        outcome = run_one_injection(
+            state["system"], state["analysis"], dpoint, state["baseline"],
+            campaign=state["cfg"], config=state["config"],
+            matcher=state["matcher"],
+        )
+        return index, outcome, None
+    # A fresh private context per point: the parent re-stitches the
+    # resulting spans/metrics in point order, reproducing exactly what
+    # its own registry/tracer would have recorded sequentially.
+    obs = Observability()
+    with obs:
+        outcome = run_one_injection(
+            state["system"], state["analysis"], dpoint, state["baseline"],
+            campaign=state["cfg"], config=state["config"],
+            matcher=state["matcher"],
+        )
+    payload = {
+        "spans": [span.to_dict() for span in obs.tracer.spans],
+        "allocated": obs.tracer.ids_allocated(),
+        "metrics": obs.metrics.snapshot(),
+    }
+    return index, outcome, payload
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# the parent side
+# ---------------------------------------------------------------------------
+def execute_points(
+    system: SystemUnderTest,
+    analysis: AnalysisReport,
+    points: List[DynamicCrashPoint],
+    baseline: Baseline,
+    matcher: Optional[BugMatcherFn],
+    cfg: CampaignConfig,
+    config: Optional[Dict[str, Any]],
+    active: Observability,
+    campaign_span: Any = None,
+) -> Tuple[List[InjectionOutcome], int]:
+    """Run (or restore) every point; returns (ordered outcomes, resumed).
+
+    The ambient ``active`` context is already installed by
+    :func:`~repro.core.injection.campaign.run_campaign`, with the
+    campaign span open.
+    """
+    journal: Optional[CampaignJournal] = None
+    loaded: Dict[int, InjectionOutcome] = {}
+    if cfg.journal_path is not None:
+        journal = CampaignJournal(cfg.journal_path)
+        meta = CampaignJournal.meta_for(system, points, cfg, config)
+        fresh = not journal.path.exists()
+        loaded = journal.load(points, meta)
+        journal.open_append(meta, fresh=fresh)
+    pending = [i for i in range(len(points)) if i not in loaded]
+
+    workers = cfg.workers
+    if workers > 1 and not _fork_available():
+        warnings.warn(
+            "parallel campaigns need the 'fork' start method, which this "
+            "platform lacks; running sequentially",
+            RuntimeWarning,
+        )
+        workers = 1
+    try:
+        if workers > 1 and len(pending) > 1:
+            outcomes = _run_parallel(
+                system, analysis, points, baseline, matcher, cfg, config,
+                active, campaign_span, loaded, pending, journal, workers,
+            )
+        else:
+            outcomes = _run_sequential(
+                system, analysis, points, baseline, matcher, cfg, config,
+                active, loaded, journal,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    return outcomes, len(loaded)
+
+
+def _restore(outcome: InjectionOutcome, active: Observability) -> InjectionOutcome:
+    """Emit a journaled outcome as if it had just been tested.
+
+    Its diagnosis rejoins ``active.diagnoses`` in point order; its spans
+    and metrics are gone with the interrupted process (documented in
+    DESIGN.md — a resumed campaign's telemetry covers this process only).
+    """
+    if active.enabled and outcome.diagnosis is not None:
+        active.diagnoses.append(outcome.diagnosis)
+    return outcome
+
+
+def _run_sequential(
+    system: SystemUnderTest,
+    analysis: AnalysisReport,
+    points: List[DynamicCrashPoint],
+    baseline: Baseline,
+    matcher: Optional[BugMatcherFn],
+    cfg: CampaignConfig,
+    config: Optional[Dict[str, Any]],
+    active: Observability,
+    loaded: Dict[int, InjectionOutcome],
+    journal: Optional[CampaignJournal],
+) -> List[InjectionOutcome]:
+    outcomes: List[InjectionOutcome] = []
+    for index, dpoint in enumerate(points):
+        if index in loaded:
+            outcomes.append(_restore(loaded[index], active))
+            continue
+        # run_one_injection appends the diagnosis to the ambient context
+        outcome = run_one_injection(
+            system, analysis, dpoint, baseline,
+            campaign=cfg, config=config, matcher=matcher,
+        )
+        if journal is not None:
+            journal.record(index, dpoint, outcome)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _run_parallel(
+    system: SystemUnderTest,
+    analysis: AnalysisReport,
+    points: List[DynamicCrashPoint],
+    baseline: Baseline,
+    matcher: Optional[BugMatcherFn],
+    cfg: CampaignConfig,
+    config: Optional[Dict[str, Any]],
+    active: Observability,
+    campaign_span: Any,
+    loaded: Dict[int, InjectionOutcome],
+    pending: List[int],
+    journal: Optional[CampaignJournal],
+    workers: int,
+) -> List[InjectionOutcome]:
+    global _WORKER_STATE
+    observed = active.enabled
+    results: Dict[int, Tuple[InjectionOutcome, Optional[Dict[str, Any]]]] = {}
+    _WORKER_STATE = {
+        "system": system, "analysis": analysis, "points": points,
+        "baseline": baseline, "matcher": matcher, "cfg": cfg,
+        "config": config, "observed": observed,
+    }
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending)),
+                                 mp_context=context) as pool:
+            futures = {pool.submit(_worker_run, index): index for index in pending}
+            for future in as_completed(futures):
+                index, outcome, payload = future.result()
+                results[index] = (outcome, payload)
+                if journal is not None:
+                    journal.record(index, points[index], outcome)
+    finally:
+        _WORKER_STATE = None
+
+    # deterministic merge: telemetry and diagnoses re-stitched in point
+    # order, exactly as a sequential campaign would have recorded them
+    reparent_to = (
+        campaign_span.record.span_id
+        if observed and hasattr(campaign_span, "record") else None
+    )
+    outcomes: List[InjectionOutcome] = []
+    for index in range(len(points)):
+        if index in loaded:
+            outcomes.append(_restore(loaded[index], active))
+            continue
+        outcome, payload = results[index]
+        if observed and payload is not None:
+            active.tracer.adopt(payload["spans"], allocated=payload["allocated"],
+                                reparent_to=reparent_to)
+            active.metrics.merge_snapshot(payload["metrics"])
+        if active.enabled and outcome.diagnosis is not None:
+            active.diagnoses.append(outcome.diagnosis)
+        outcomes.append(outcome)
+    return outcomes

@@ -16,7 +16,7 @@ Silent errors are out of scope, as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.obs.context import get_obs
@@ -94,6 +94,14 @@ class OracleVerdict:
         if self.critical_aborts:
             out.append("cluster-down")
         return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OracleVerdict":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 def evaluate_run(report: RunReport, baseline: Baseline) -> OracleVerdict:

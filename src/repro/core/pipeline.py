@@ -6,17 +6,23 @@ fault-injection campaign — and returns one :class:`CrashTunerResult`
 carrying everything the evaluation tables read: counts (Table 10), pruning
 stats (Table 12), times (Table 11), flagged outcomes and attributed bugs
 (Table 5).
+
+The campaign phase is configured by one frozen
+:class:`~repro.core.injection.CampaignConfig` (workers, journal, seed,
+oracle knobs); the pre-CampaignConfig loose kwargs remain as deprecation
+shims for one release.
 """
 
 from __future__ import annotations
 
 import time as _wallclock
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
 
 from repro.bugs import matcher_for_system
 from repro.core.analysis import AnalysisReport, analyze_system
-from repro.core.injection import Baseline, CampaignResult, build_baseline, run_campaign
+from repro.core.injection import Baseline, CampaignConfig, CampaignResult, run_campaign
+from repro.core.injection.campaign import _coerce_campaign
 from repro.core.profiler import ProfileResult, profile_system
 from repro.obs import NULL_OBS, Observability
 from repro.systems.base import SystemUnderTest
@@ -48,12 +54,17 @@ class CrashTunerResult:
         Both wall-clock and simulated times are reported: the paper's
         hours are dominated by real cluster runs, whose in-simulation
         equivalent is the summed simulated duration of the test runs.
+        ``workers`` and ``test_speedup`` report how the test phase was
+        parallelized — speedup is the summed per-run wall time over the
+        campaign's wall time, i.e. the realized parallelism.
         """
         row = {
             "analysis_wall_s": sum(self.analysis.timings.values()),
             "profile_wall_s": self.profile.wall_seconds,
             "test_wall_s": self.campaign.wall_seconds if self.campaign else 0.0,
             "test_sim_s": self.campaign.sim_seconds if self.campaign else 0.0,
+            "workers": self.campaign.workers if self.campaign else 1,
+            "test_speedup": self.campaign.speedup if self.campaign else 0.0,
         }
         row["total_wall_s"] = (
             row["analysis_wall_s"] + row["profile_wall_s"] + row["test_wall_s"]
@@ -81,49 +92,52 @@ class CrashTunerResult:
 
 def crashtuner(
     system: SystemUnderTest,
-    seed: int = 0,
+    campaign: Optional[Union[CampaignConfig, int]] = None,
     config: Optional[Dict[str, Any]] = None,
     baseline: Optional[Baseline] = None,
     run_injection: bool = True,
-    wait: float = 1.0,
-    random_fallback: bool = False,
-    classify_timeouts: bool = True,
-    max_points: Optional[int] = None,
     obs: Optional[Observability] = None,
+    # deprecated loose kwargs (one release): fold into CampaignConfig
+    seed: Optional[int] = None,
+    wait: Optional[float] = None,
+    random_fallback: Optional[bool] = None,
+    classify_timeouts: Optional[bool] = None,
+    max_points: Optional[int] = None,
 ) -> CrashTunerResult:
     """Run CrashTuner end-to-end over one system.
 
     Args:
+        campaign: the :class:`~repro.core.injection.CampaignConfig` for
+            the injection phase (also supplies the pipeline's RNG seed);
+            ``CampaignConfig(workers=N)`` parallelizes the test runs.
         run_injection: phase 2 can be skipped for analysis-only callers.
-        max_points: cap the number of dynamic crash points tested (for
-            scaled-down benchmark runs; the full campaign tests all).
         obs: observability context installed around all three phases;
             the result carries its metrics snapshot and the campaign
             collects one diagnosis per tested point into ``obs.diagnoses``.
     """
+    cfg = _coerce_campaign(campaign, {
+        "seed": seed, "wait": wait, "random_fallback": random_fallback,
+        "classify_timeouts": classify_timeouts, "max_points": max_points,
+    }, "crashtuner")
     wall0 = _wallclock.perf_counter()
     active = obs if obs is not None else NULL_OBS
     with active:
-        analysis = analyze_system(system, seed=seed, config=config)
-        profile = profile_system(system, analysis, seed=seed, config=config)
-        campaign: Optional[CampaignResult] = None
+        analysis = analyze_system(system, seed=cfg.seed, config=config)
+        profile = profile_system(system, analysis, seed=cfg.seed, config=config)
+        campaign_result: Optional[CampaignResult] = None
         if run_injection:
-            if baseline is None:
-                baseline = build_baseline(system, config=config)
-            points = profile.dynamic_points
-            if max_points is not None:
-                points = points[:max_points]
-            campaign = run_campaign(
-                system, analysis, points, seed=seed, config=config,
-                baseline=baseline, matcher=matcher_for_system(system.name),
-                wait=wait, random_fallback=random_fallback,
-                classify_timeouts=classify_timeouts,
+            # the baseline workload is built (and traced) exactly once,
+            # by run_campaign inside the campaign span
+            campaign_result = run_campaign(
+                system, analysis, profile.dynamic_points,
+                campaign=cfg, config=config, baseline=baseline,
+                matcher=matcher_for_system(system.name),
             )
     return CrashTunerResult(
         system=system.name,
         analysis=analysis,
         profile=profile,
-        campaign=campaign,
+        campaign=campaign_result,
         wall_seconds=_wallclock.perf_counter() - wall0,
         metrics=active.metrics.snapshot() if active.enabled else None,
     )

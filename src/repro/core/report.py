@@ -42,3 +42,8 @@ def format_table(
 def hours(sim_seconds: float) -> str:
     """Render simulated seconds as the paper's hour format."""
     return f"{sim_seconds / 3600.0:.2f}h"
+
+
+def speedup(ratio: float) -> str:
+    """Render a parallel-campaign speedup ratio (Table 11's new column)."""
+    return f"{ratio:.2f}x"

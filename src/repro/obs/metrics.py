@@ -59,6 +59,24 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def merge(self, summary: Dict[str, float]) -> None:
+        """Fold another histogram's :meth:`summary` into this one.
+
+        count/sum/min/max are all associative, so merging per-worker
+        summaries in a fixed order reproduces the sequential histogram
+        exactly (all in-tree histograms observe integer-valued samples,
+        which float addition sums exactly).
+        """
+        count = int(summary.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += summary["sum"]
+        if summary["min"] < self.min:
+            self.min = summary["min"]
+        if summary["max"] > self.max:
+            self.max = summary["max"]
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -114,6 +132,22 @@ class MetricsRegistry:
             "histograms": {k: h.summary() for k, h in sorted(self.histograms.items())},
         }
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a worker registry's :meth:`snapshot` into this registry.
+
+        Counters are summed, histograms merged, and gauges take the
+        incoming value (last write wins) — so merging per-point snapshots
+        in point order reproduces the registry a sequential campaign
+        would have built.  Instruments present in the snapshot are
+        created here even when empty, matching first-use creation.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(summary)
+
 
 class _NullInstrument:
     """Shared sink standing in for every instrument when metrics are off."""
@@ -151,3 +185,6 @@ class NullMetricsRegistry:
 
     def snapshot(self) -> Dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        return None

@@ -149,6 +149,41 @@ class Tracer:
         self._store(record)
 
     # ------------------------------------------------------------------
+    # worker-trace adoption (the parallel campaign executor)
+    # ------------------------------------------------------------------
+    def ids_allocated(self) -> int:
+        """How many span ids this tracer has handed out so far."""
+        return self._next_id - 1
+
+    def adopt(
+        self,
+        span_dicts: List[Dict[str, Any]],
+        allocated: int,
+        reparent_to: Optional[int] = None,
+    ) -> None:
+        """Graft spans recorded by a worker's private tracer into this one.
+
+        ``span_dicts`` are :meth:`SpanRecord.to_dict` records whose ids
+        were allocated from 1 by the worker; ``allocated`` is the worker
+        tracer's :meth:`ids_allocated`.  Ids are shifted past this
+        tracer's, root spans are reparented to ``reparent_to``, and the
+        records are stored in the given order through the ``max_spans``
+        cap — so adopting per-point worker traces in point order yields
+        the byte-identical span list, ids included, that a sequential
+        campaign records directly.
+        """
+        offset = self._next_id - 1
+        for data in span_dicts:
+            record = SpanRecord.from_dict(data)
+            record.span_id += offset
+            if record.parent_id is None:
+                record.parent_id = reparent_to
+            else:
+                record.parent_id += offset
+            self._store(record)
+        self._next_id += max(0, allocated)
+
+    # ------------------------------------------------------------------
     # queries used by reports and tests
     # ------------------------------------------------------------------
     def named(self, name: str) -> List[SpanRecord]:
@@ -190,6 +225,13 @@ class NullTracer:
         return _NULL_SPAN
 
     def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def ids_allocated(self) -> int:
+        return 0
+
+    def adopt(self, span_dicts: List[Dict[str, Any]], allocated: int,
+              reparent_to: Optional[int] = None) -> None:
         return None
 
     def named(self, name: str) -> List[SpanRecord]:

@@ -7,7 +7,7 @@ import pytest
 from repro.bugs import matcher_for_system
 from repro.cluster.state import BUS
 from repro.core.analysis import analyze_system
-from repro.core.injection import build_baseline, run_one_injection
+from repro.core.injection import CampaignConfig, build_baseline, run_one_injection
 from repro.core.profiler import profile_system
 from repro.systems import get_system
 
@@ -65,7 +65,8 @@ def inject_at(
     assert dpoints, f"no dynamic crash point matching {enclosing_frag}/{field}/{op}"
     return run_one_injection(
         system, analysis, dpoints[0], baseline, config=config,
-        classify_timeouts=classify_timeouts, matcher=matcher_for_system(system_name),
+        campaign=CampaignConfig(classify_timeouts=classify_timeouts),
+        matcher=matcher_for_system(system_name),
     )
 
 

@@ -7,7 +7,7 @@ resolution, action taken, and oracle verdict.
 """
 
 from repro.bugs import matcher_for_system
-from repro.core.injection import run_campaign
+from repro.core.injection import CampaignConfig, run_campaign
 from repro.obs import Observability, read_trace_jsonl, write_trace_jsonl
 from repro.obs.report import main as report_main
 from tests.conftest import prepared
@@ -24,8 +24,8 @@ def traced_yarn_campaign(random_fallback=False):
         obs = Observability()
         result = run_campaign(
             system, analysis, profile.dynamic_points[:N_POINTS], baseline=baseline,
-            matcher=matcher_for_system("yarn"), random_fallback=random_fallback,
-            obs=obs,
+            campaign=CampaignConfig(random_fallback=random_fallback),
+            matcher=matcher_for_system("yarn"), obs=obs,
         )
         _CACHE[random_fallback] = (obs, result)
     return _CACHE[random_fallback]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import crashtuner, get_system
+from repro import CampaignConfig, crashtuner, get_system
 from repro.bugs import matcher_for_system
 from repro.core.baselines import (
     find_io_points,
@@ -42,7 +42,7 @@ def test_pipeline_analysis_only_mode():
 
 
 def test_pipeline_max_points_caps_campaign():
-    r = crashtuner(get_system("hdfs"), max_points=2)
+    r = crashtuner(get_system("hdfs"), campaign=CampaignConfig(max_points=2))
     assert len(r.campaign.outcomes) <= 2
 
 

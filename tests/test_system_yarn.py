@@ -198,14 +198,14 @@ def test_timeout_issue_to2_am_launch_monitor():
 
 def test_fully_patched_yarn_survives_every_injection_without_cluster_down():
     from repro.bugs import matcher_for_system
-    from repro.core.injection import run_campaign
+    from repro.core.injection import CampaignConfig, run_campaign
     from tests.conftest import prepared
 
     system, analysis, profile, baseline = prepared("yarn", ALL_YARN_PATCHED)
     result = run_campaign(system, analysis, profile.dynamic_points,
+                          campaign=CampaignConfig(classify_timeouts=False),
                           config=ALL_YARN_PATCHED, baseline=baseline,
-                          matcher=matcher_for_system("yarn"),
-                          classify_timeouts=False)
+                          matcher=matcher_for_system("yarn"))
     cluster_down = [o for o in result.outcomes if o.verdict.critical_aborts]
     assert cluster_down == []
     assert result.detected_bugs() == {}
