@@ -12,7 +12,8 @@ The supported surface:
   fault-injection phase, over pre-computed dynamic crash points,
 * :class:`CampaignConfig` — the one frozen config object for both
   (oracle knobs, seed, ``workers`` for parallel campaigns,
-  ``journal_path`` for checkpoint/resume),
+  ``journal_path`` for checkpoint/resume, ``execution="snapshot"`` for
+  snapshot-and-resume test runs),
 * :class:`Observability` — opt-in tracing/metrics/diagnoses, passed as
   ``obs=``,
 * :func:`get_system` / :func:`all_systems` / :func:`run_workload` — the

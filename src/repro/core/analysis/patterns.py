@@ -31,13 +31,23 @@ class LogPattern:
     regex: str
     num_slots: int
 
+    def __post_init__(self) -> None:
+        # Compiled exactly once, at construction: both log agents (the
+        # offline analysis and the injection phase's online tail) call
+        # match() for every candidate on every log instance, and the
+        # per-call re.fullmatch() path pays a cache lookup each time.
+        # The compiled pattern is deliberately not a dataclass field:
+        # equality, hashing, and the journal fingerprint stay defined by
+        # (statement, regex, num_slots) alone.
+        object.__setattr__(self, "_compiled", re.compile(self.regex))
+
     @property
     def template(self) -> str:
         return self.statement.template
 
     def match(self, message: str) -> Optional[Tuple[str, ...]]:
         """Extract the placeholder values, or None if no exact match."""
-        m = re.fullmatch(self.regex, message)
+        m = self._compiled.fullmatch(message)
         if m is None:
             return None
         return m.groups()

@@ -8,7 +8,11 @@ from repro.core.injection.campaign import (
     run_one_injection,
 )
 from repro.core.injection.control_center import ControlCenter, InjectionRecord
-from repro.core.injection.executor import CampaignJournal, JournalMismatch
+from repro.core.injection.executor import (
+    CampaignJournal,
+    ExecutionReport,
+    JournalMismatch,
+)
 from repro.core.injection.online_log import OnlineLogAgent, OnlineMetaStore
 from repro.core.injection.oracles import (
     Baseline,
@@ -24,6 +28,7 @@ __all__ = [
     "CampaignJournal",
     "CampaignResult",
     "ControlCenter",
+    "ExecutionReport",
     "JournalMismatch",
     "InjectionOutcome",
     "InjectionRecord",

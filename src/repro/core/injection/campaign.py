@@ -39,6 +39,10 @@ BugMatcherFn = Callable[[RunReport, OracleVerdict], List[str]]
 #: timers, leak auditors) land in the observed logs
 COOLDOWN = 10.0
 
+#: deadline multiplier for re-running flagged hangs (Section 4.1.3) —
+#: shared by the replay rerun and the snapshot mode's resumed rerun
+EXTENDED_FACTOR = 400.0
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -60,11 +64,23 @@ class CampaignConfig:
             (``None`` tests all).
         seed: RNG seed for every cluster run of the campaign.
         workers: worker processes for the injection phase; ``1`` runs
-            in-process, ``N > 1`` fans points out over a pool and merges
-            results in deterministic point order.
+            in-process, ``N > 1`` fans points out over a pool (replay) or
+            resumes that many snapshots concurrently (snapshot) and
+            merges results in deterministic point order.
         journal_path: when set, a JSONL checkpoint journal of per-point
             outcomes; an interrupted campaign re-run with the same
             journal resumes at the first untested point.
+        execution: how the test phase executes each point.  ``"replay"``
+            re-runs every injection from t=0; ``"snapshot"`` records the
+            deterministic prefix once per scale group and resumes each
+            injection from a fork-based snapshot at its fire instant
+            (outcome-identical, see DESIGN.md).  Falls back to replay
+            where ``fork`` is unavailable.
+        force_workers: keep the requested ``workers`` even for campaigns
+            too small to amortize pool startup; by default a replay
+            campaign with fewer than ``workers * 2`` pending points
+            degrades to in-process execution (the realized choice is
+            recorded on :class:`CampaignResult`).
     """
 
     wait: float = 1.0
@@ -74,6 +90,14 @@ class CampaignConfig:
     seed: int = 0
     workers: int = 1
     journal_path: Optional[Union[str, Path]] = None
+    execution: str = "replay"
+    force_workers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.execution not in ("replay", "snapshot"):
+            raise ValueError(
+                f"execution must be 'replay' or 'snapshot', got {self.execution!r}"
+            )
 
     def replace(self, **overrides: Any) -> "CampaignConfig":
         """A copy with the given fields replaced (the config is frozen)."""
@@ -170,10 +194,19 @@ class CampaignResult:
     sim_seconds: float
     #: metrics snapshot of the campaign's observability context, if enabled
     metrics: Optional[Dict[str, Any]] = None
-    #: worker processes the campaign ran with (CampaignConfig.workers)
+    #: worker processes the campaign was asked for (CampaignConfig.workers)
     workers: int = 1
     #: outcomes restored from the journal instead of re-run
     resumed: int = 0
+    #: execution mode the test phase actually used ("replay"|"snapshot"):
+    #: the configured mode unless the platform forced a replay fallback
+    execution: str = "replay"
+    #: worker processes actually used, after the small-campaign degrade
+    #: rule and any platform fallback (see CampaignConfig.force_workers)
+    workers_realized: int = 1
+    #: snapshot-engine statistics (recording runs, resumed/never-fired/
+    #: fallback point counts, kernel manifests) when it ran
+    snapshot_stats: Optional[Dict[str, Any]] = None
 
     @property
     def speedup(self) -> float:
@@ -204,7 +237,7 @@ def run_one_injection(
     campaign: Optional[Union[CampaignConfig, int]] = None,
     config: Optional[Dict[str, Any]] = None,
     matcher: Optional[BugMatcherFn] = None,
-    extended_factor: float = 400.0,
+    extended_factor: float = EXTENDED_FACTOR,
     # deprecated loose kwargs (one release): fold into CampaignConfig
     seed: Optional[int] = None,
     wait: Optional[float] = None,
@@ -374,18 +407,21 @@ def run_campaign(
             if baseline is None:
                 with active.tracer.span("baseline", system=system.name):
                     baseline = build_baseline(system, config=config)
-            outcomes, resumed = execute_points(
+            report = execute_points(
                 system, analysis, points, baseline,
                 matcher=matcher, cfg=cfg, config=config,
                 active=active, campaign_span=span,
             )
     return CampaignResult(
         system=system.name,
-        outcomes=outcomes,
+        outcomes=report.outcomes,
         baseline=baseline,
         wall_seconds=_wallclock.perf_counter() - wall0,
-        sim_seconds=sum(o.duration for o in outcomes),
+        sim_seconds=sum(o.duration for o in report.outcomes),
         metrics=active.metrics.snapshot() if active.enabled else None,
         workers=cfg.workers,
-        resumed=resumed,
+        resumed=report.resumed,
+        execution=report.execution,
+        workers_realized=report.workers,
+        snapshot_stats=report.snapshot_stats,
     )

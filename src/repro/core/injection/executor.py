@@ -39,6 +39,7 @@ import json
 import multiprocessing
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -227,6 +228,23 @@ def _fork_available() -> bool:
 # ---------------------------------------------------------------------------
 # the parent side
 # ---------------------------------------------------------------------------
+@dataclass
+class ExecutionReport:
+    """What the test phase actually did, alongside its ordered outcomes.
+
+    ``workers``/``execution`` are the *realized* choices — after the
+    platform fallback (no ``fork``) and the small-campaign degrade rule —
+    which :func:`~repro.core.injection.campaign.run_campaign` records on
+    the :class:`~repro.core.injection.campaign.CampaignResult`.
+    """
+
+    outcomes: List[InjectionOutcome]
+    resumed: int
+    workers: int
+    execution: str
+    snapshot_stats: Optional[Dict[str, Any]] = None
+
+
 def execute_points(
     system: SystemUnderTest,
     analysis: AnalysisReport,
@@ -237,8 +255,8 @@ def execute_points(
     config: Optional[Dict[str, Any]],
     active: Observability,
     campaign_span: Any = None,
-) -> Tuple[List[InjectionOutcome], int]:
-    """Run (or restore) every point; returns (ordered outcomes, resumed).
+) -> ExecutionReport:
+    """Run (or restore) every point; returns an :class:`ExecutionReport`.
 
     The ambient ``active`` context is already installed by
     :func:`~repro.core.injection.campaign.run_campaign`, with the
@@ -255,20 +273,41 @@ def execute_points(
     pending = [i for i in range(len(points)) if i not in loaded]
 
     workers = cfg.workers
-    if workers > 1 and not _fork_available():
+    execution = cfg.execution
+    if (workers > 1 or execution == "snapshot") and not _fork_available():
         warnings.warn(
-            "parallel campaigns need the 'fork' start method, which this "
-            "platform lacks; running sequentially",
+            "parallel and snapshot campaigns need the 'fork' start method, "
+            "which this platform lacks; replaying sequentially",
             RuntimeWarning,
         )
         workers = 1
+        execution = "replay"
+    if (
+        execution == "replay"
+        and workers > 1
+        and not cfg.force_workers
+        and len(pending) < workers * 2
+    ):
+        # pool startup dominates campaigns this small (Table 11's
+        # zookeeper/cassandra rows ran *slower* parallel than sequential);
+        # degrade to in-process unless the caller explicitly forced it
+        workers = 1
+    snapshot_stats: Optional[Dict[str, Any]] = None
     try:
-        if workers > 1 and len(pending) > 1:
+        if execution == "snapshot" and pending:
+            from repro.core.injection.snapshot import run_snapshot
+
+            outcomes, snapshot_stats = run_snapshot(
+                system, analysis, points, baseline, matcher, cfg, config,
+                active, campaign_span, loaded, pending, journal, workers,
+            )
+        elif workers > 1 and len(pending) > 1:
             outcomes = _run_parallel(
                 system, analysis, points, baseline, matcher, cfg, config,
                 active, campaign_span, loaded, pending, journal, workers,
             )
         else:
+            workers = 1
             outcomes = _run_sequential(
                 system, analysis, points, baseline, matcher, cfg, config,
                 active, loaded, journal,
@@ -276,7 +315,13 @@ def execute_points(
     finally:
         if journal is not None:
             journal.close()
-    return outcomes, len(loaded)
+    return ExecutionReport(
+        outcomes=outcomes,
+        resumed=len(loaded),
+        workers=workers,
+        execution=execution,
+        snapshot_stats=snapshot_stats,
+    )
 
 
 def _restore(outcome: InjectionOutcome, active: Observability) -> InjectionOutcome:

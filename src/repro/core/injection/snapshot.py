@@ -1,0 +1,892 @@
+"""Snapshot-and-resume execution of injection campaigns.
+
+The replay executor re-runs the deterministic prefix of every injection:
+each of the campaign's N test runs simulates from t=0 even though, until
+the armed crash point first fires, the run is event-for-event identical
+to the injection-free recording of the same seed/scale (the determinism
+contract pinned by the kernel and campaign test suites).  This module
+removes that redundancy: **one recording pass per (scale, chunk) group
+snapshots the whole simulated world at each point's first-fire instant,
+and every injection then resumes from its snapshot and executes only its
+suffix** — O(1 recording run + sum of suffixes) instead of O(N full
+runs).
+
+A Python-level ``deepcopy``/restore of the world is unsound here: queued
+:class:`~repro.sim.events.Event` callbacks are closures over live node,
+network, and workload objects, so reinstalling a saved event queue into a
+world whose objects have moved on replays the wrong state (see
+:class:`~repro.sim.loop.LoopCheckpoint`).  The snapshot is therefore the
+operating system's: ``os.fork()`` at the fire instant captures loop,
+cluster, RNG, logs, meta-info store, and armed trigger in one
+copy-on-write image.  Kernel checkpoints
+(:meth:`~repro.sim.loop.SimLoop.checkpoint`,
+:meth:`~repro.sim.rng.SimRandom.checkpoint`) are still taken at that
+instant — their manifests travel to the parent as an integrity record of
+what each snapshot contained.
+
+Process tree (one per group of same-scale points)::
+
+    campaign parent
+      └─ recorder      one injection-free recording run; at each point's
+         │             first matching access event it forks a holder and
+         │             keeps simulating (the recording run never injects)
+         ├─ holder     frozen world at point P's fire instant; blocks on
+         │  │          a command pipe; forks one resumer per command
+         │  └─ resumer fires P's trigger against the inherited world and
+         │             lets the already-in-flight run_workload() finish —
+         │             the suffix — then ships the outcome to the parent
+         └─ ...
+
+The holder exists so one snapshot serves *multiple* resumes: a flagged
+hang is re-classified by resuming the *same* snapshot a second time with
+an extended deadline (installed via
+:meth:`~repro.sim.loop.SimLoop.override_deadline` on the in-flight run),
+exactly the two-run dance the replay path performs — minus both prefixes.
+Points whose trigger never fires during the recording pass need no
+resume at all: for them the recording run *is* the test run, and its
+verdict/diagnosis/telemetry are shared.
+
+Equivalence (asserted end-to-end by ``tests/test_snapshot_campaign.py``):
+outcomes, verdicts, matched bugs, diagnoses, merged metrics, and
+re-stitched spans are identical to the replay executor's, because the
+recording prefix is byte-identical to each replay run's prefix and the
+resumer executes the identical firing code (:meth:`Trigger.fire`) at the
+identical event.  Only ``wall_seconds`` differs — it is what this mode
+exists to shrink.
+
+All transport is newline-delimited JSON over pipes (outcomes round-trip
+through the same ``to_dict``/``from_dict`` pair the journal uses).  Any
+child-side failure degrades that point (or chunk) to an in-process replay
+via :func:`~repro.core.injection.campaign.run_one_injection` — snapshot
+mode never changes *what* is computed, only *how fast*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import time as _wallclock
+from dataclasses import replace as _dc_replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.state import BUS, AccessEvent
+from repro.core.injection.campaign import (
+    COOLDOWN,
+    EXTENDED_FACTOR,
+    InjectionOutcome,
+    _diagnose,
+    run_one_injection,
+)
+from repro.core.injection.control_center import ControlCenter
+from repro.core.injection.online_log import OnlineLogAgent, OnlineMetaStore
+from repro.core.injection.oracles import OracleVerdict, evaluate_run
+from repro.core.injection.trigger import Trigger, point_matches
+from repro.obs import InjectionDiagnosis, Observability
+from repro.systems.base import run_workload
+
+#: points recorded per recording pass; each point holds two pipe pairs in
+#: the parent, so the chunk size bounds fd usage well under typical soft
+#: limits (4 fds/point + 2 for the recorder summary)
+CHUNK = 100
+
+#: set between fork and hook-return in a resumer child; empty everywhere
+#: else.  The recording pass's code below the hook checks it to learn
+#: which process it woke up in.
+_ROLE: Dict[str, Any] = {}
+
+
+# ---------------------------------------------------------------------------
+# newline-delimited JSON over raw pipe fds
+# ---------------------------------------------------------------------------
+def _close_quiet(fd: Optional[int]) -> None:
+    if fd is None:
+        return
+    try:
+        os.close(fd)
+    except OSError:
+        pass
+
+
+def _write_json_fd(fd: int, obj: Dict[str, Any]) -> None:
+    data = (json.dumps(obj) + "\n").encode("utf-8")
+    while data:
+        try:
+            written = os.write(fd, data)
+        except BrokenPipeError:
+            return  # the reader died; its waitpid/fallback path handles it
+        data = data[written:]
+
+
+def _read_json_fd(fd: int, buf: bytearray) -> Optional[Dict[str, Any]]:
+    """Blocking read of one JSON line; ``None`` on EOF before a full line."""
+    while True:
+        newline = buf.find(b"\n")
+        if newline >= 0:
+            line = bytes(buf[:newline])
+            del buf[: newline + 1]
+            return json.loads(line.decode("utf-8"))
+        chunk = os.read(fd, 65536)
+        if not chunk:
+            return None
+        buf.extend(chunk)
+
+
+def _read_reply(fd: int, buf: bytearray) -> Dict[str, Any]:
+    """A child's reply, with EOF and garbage both downgraded to errors."""
+    try:
+        reply = _read_json_fd(fd, buf)
+    except (ValueError, OSError) as exc:
+        return {"status": "error", "error": f"unreadable reply: {exc}"}
+    if reply is None:
+        return {"status": "error", "error": "result pipe closed"}
+    return reply
+
+
+# ---------------------------------------------------------------------------
+# per-point bookkeeping
+# ---------------------------------------------------------------------------
+class _ArmedPoint:
+    """One pending point's pipes, trigger, and in-flight protocol state."""
+
+    __slots__ = (
+        "index", "dpoint", "trigger", "recorded",
+        "cmd_r", "cmd_w", "res_r", "res_w", "res_buf", "first",
+    )
+
+    def __init__(self, index: int, dpoint: Any):
+        self.index = index
+        self.dpoint = dpoint
+        self.trigger: Optional[Trigger] = None
+        #: a holder was forked for this point during the recording pass
+        self.recorded = False
+        self.cmd_r: Optional[int] = None  # holder reads commands here
+        self.cmd_w: Optional[int] = None  # parent writes commands here
+        self.res_r: Optional[int] = None  # parent reads results here
+        self.res_w: Optional[int] = None  # resumer writes results here
+        self.res_buf = bytearray()
+        #: the first resume's reply, kept while a reclassify is in flight
+        self.first: Optional[Dict[str, Any]] = None
+
+
+class _SnapshotWatcher:
+    """The recording pass's access-bus hook: all pending points at once.
+
+    Where the replay path installs one :class:`Trigger` that fires, this
+    installs one hook that *never injects*: at each point's first matching
+    event it records a kernel manifest and forks that point's holder, then
+    lets the recording run continue unperturbed.  Matching reuses the
+    trigger's own :func:`point_matches`, so "the event the recording pass
+    froze on" is exactly "the event the replay trigger would fire on".
+    """
+
+    def __init__(self, entries: List[_ArmedPoint], state: Dict[str, Any]):
+        self.entries = entries
+        self.state = state
+        self.fire_order: List[int] = []
+        self.manifests: Dict[int, Dict[str, Any]] = {}
+        #: alias point index -> primary point index (same fire event, so
+        #: a byte-identical suffix; only built when running unobserved)
+        self.aliases: Dict[int, int] = {}
+        self.cluster: Any = None
+        self.center: Optional[ControlCenter] = None
+        self.agent: Optional[OnlineLogAgent] = None
+        self.rec_w: Optional[int] = None
+        self._installed = False
+
+    # -- before_run hook (mirrors campaign._drive's, minus the injecting
+    # trigger: one store/agent/center feeds *all* armed points) ----------
+    def arm(self, cluster: Any, workload: Any) -> None:
+        analysis = self.state["analysis"]
+        cfg = self.state["cfg"]
+        store = OnlineMetaStore(analysis.hosts)
+        agent = OnlineLogAgent(analysis.index, analysis.log_result.meta_slots, store)
+        assert cluster.log_collector is not None
+        agent.attach(cluster.log_collector)
+        center = ControlCenter(
+            cluster, store, wait=cfg.wait, random_fallback=cfg.random_fallback
+        )
+        for entry in self.entries:
+            entry.trigger = Trigger(entry.dpoint, center)
+        self.cluster = cluster
+        self.center = center
+        self.agent = agent
+        self.install()
+
+    def install(self) -> None:
+        BUS.capture_stacks = True
+        BUS.add_hook(self._hook)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            BUS.remove_hook(self._hook)
+            self._installed = False
+            if not BUS.enabled:
+                BUS.capture_stacks = False
+
+    # ------------------------------------------------------------------
+    def _manifest(self, entry: _ArmedPoint) -> Dict[str, Any]:
+        loop = self.cluster.loop
+        manifest = loop.checkpoint().manifest()
+        manifest["rng"] = self.cluster.random.checkpoint().digest()
+        manifest["point"] = entry.dpoint.describe()
+        return manifest
+
+    def _hook(self, event: AccessEvent) -> None:
+        matched = [
+            entry for entry in self.entries
+            if not entry.recorded and point_matches(entry.dpoint, event)
+        ]
+        if matched:
+            for entry in matched:
+                entry.recorded = True
+                self.fire_order.append(entry.index)
+                self.manifests[entry.index] = self._manifest(entry)
+            if self.state["observed"]:
+                # every point resumes itself: the injection span names
+                # the point, so aliased points would ship a payload
+                # carrying the primary's name
+                primaries = matched
+            else:
+                # points firing at the *same* access event with the same
+                # op perform the same injection on the same world — their
+                # suffixes are byte-identical, so one resume serves all;
+                # the parent clones the outcome per alias, swapping only
+                # the point-identity fields
+                primaries = matched[:1]
+                for alias in matched[1:]:
+                    self.aliases[alias.index] = primaries[0].index
+            for entry in primaries:
+                if self._hold(entry):
+                    # resumer child: inject here and let the inherited
+                    # run_workload() call stack finish the suffix
+                    self._resume(entry, event)
+                    return
+        if all(entry.recorded for entry in self.entries):
+            # every snapshot is taken: nobody consumes access events for
+            # the rest of the recording run, so stop paying for their
+            # construction (emission is observation-only — bus state
+            # never influences how the simulation evolves)
+            self.uninstall()
+
+    def _hold(self, entry: _ArmedPoint) -> bool:
+        """Fork the holder; True only in a (grand)child resumer."""
+        pid = os.fork()
+        if pid != 0:
+            # recorder: the holder owns these pipe ends now
+            _close_quiet(entry.cmd_r)
+            entry.cmd_r = None
+            _close_quiet(entry.res_w)
+            entry.res_w = None
+            return False
+        # holder: drop every fd that is not ours, so the parent's
+        # close(cmd_w) reaches us as EOF and the recorder summary pipe
+        # sees EOF if the recorder dies
+        _close_quiet(self.rec_w)
+        self.rec_w = None
+        for other in self.entries:
+            if other is entry:
+                continue
+            _close_quiet(other.cmd_r)
+            other.cmd_r = None
+            _close_quiet(other.res_w)
+            other.res_w = None
+        buf = bytearray()
+        while True:
+            cmd = _read_json_fd(entry.cmd_r, buf)
+            if cmd is None:
+                os._exit(0)  # parent is done with this snapshot
+            child = os.fork()
+            if child == 0:
+                _ROLE["role"] = "resumer"
+                _ROLE["entry"] = entry
+                _ROLE["cmd"] = cmd
+                _ROLE["wall0"] = _wallclock.perf_counter()
+                return True
+            _, status = os.waitpid(child, 0)
+            if status != 0:
+                _write_json_fd(entry.res_w, {
+                    "status": "error",
+                    "error": f"resumer exited with status {status}",
+                })
+
+    def _resume(self, entry: _ArmedPoint, event: AccessEvent) -> None:
+        """Turn the frozen recording pass into this one point's test run.
+
+        No hook is installed for the suffix: the match already happened —
+        at this very event — during the recording pass, and a fired
+        trigger's hook is a dead early-return anyway, so the suffix runs
+        with the access bus disabled entirely.  This is the structural
+        win replay cannot have (its trigger must listen from t=0 until
+        the fire), and it is equivalence-preserving because bus emission
+        feeds hooks only — no metric, log, or system state ever depends
+        on it.
+        """
+        self.uninstall()
+        trigger = entry.trigger
+        assert trigger is not None
+        if _ROLE["cmd"].get("reclassify"):
+            # same extended deadline a replay rerun would be *started*
+            # with; here the run is already in flight, so it is swapped in
+            extended = (
+                self.state["system"].base_runtime()
+                * EXTENDED_FACTOR
+                * max(1, entry.dpoint.scale)
+            )
+            self.cluster.loop.override_deadline(extended)
+            if not self.state["observed"] and self.agent is not None:
+                # the reclassification verdict only asks "does the run
+                # complete by the extended deadline": its diagnosis keeps
+                # the first resume's store_size, and an incomplete rerun
+                # is never oracle-judged, so with telemetry off nothing
+                # observable is fed by tailing (pattern-matching) the
+                # rerun's logs — skip the agent for the long tail
+                self.cluster.log_collector.unsubscribe(self.agent)
+        trigger.fire(event)
+
+
+# ---------------------------------------------------------------------------
+# recorder / resumer child
+# ---------------------------------------------------------------------------
+def _recording_pass(
+    watcher: _SnapshotWatcher,
+    entries: List[_ArmedPoint],
+    scale: int,
+    state: Dict[str, Any],
+    out: Dict[str, Any],
+) -> None:
+    cfg = state["cfg"]
+    try:
+        report = run_workload(
+            state["system"], seed=cfg.seed, config=state["config"], scale=scale,
+            deadline=None, before_run=watcher.arm, cooldown=COOLDOWN,
+        )
+    finally:
+        watcher.uninstall()
+        if _ROLE.get("role") == "resumer":
+            trigger = _ROLE["entry"].trigger
+            if trigger is not None:
+                trigger.uninstall()
+    if _ROLE.get("role") == "resumer":
+        out["result"] = _resumer_result(report, state)
+        return
+    # Recorder: for points that never fired, this injection-free run *is*
+    # the test run — one shared verdict/diagnosis basis serves them all
+    # (each replay run of a never-firing point replays exactly this run).
+    if any(not e.recorded for e in entries):
+        baseline = state["baseline"]
+        matcher = state["matcher"]
+        verdict = evaluate_run(report, baseline)
+        matched = matcher(report, verdict) if (matcher and verdict.flagged) else []
+        center = watcher.center
+        out["unfired"] = {
+            "verdict": verdict.to_dict(),
+            "matched": list(matched),
+            "duration": report.duration,
+            "events_processed": (
+                report.cluster.loop.events_processed
+                if report.cluster is not None else 0
+            ),
+            "store_size": center.store.size() if center is not None else 0,
+        }
+
+
+def _resumer_result(report: Any, state: Dict[str, Any]) -> Dict[str, Any]:
+    """Judge the finished suffix exactly as run_one_injection would."""
+    entry: _ArmedPoint = _ROLE["entry"]
+    cmd: Dict[str, Any] = _ROLE["cmd"]
+    wall = _wallclock.perf_counter() - _ROLE["wall0"]
+    baseline = state["baseline"]
+    matcher = state["matcher"]
+    cfg = state["cfg"]
+    events = (
+        report.cluster.loop.events_processed if report.cluster is not None else 0
+    )
+    if cmd.get("reclassify"):
+        # second resume of a flagged hang: replay keeps the rerun only
+        # when it completed (an incomplete rerun is judged by no oracle)
+        if not report.completed:
+            return {"status": "ok", "completed": False, "wall_seconds": wall}
+        verdict = evaluate_run(report, baseline)
+        verdict.timeout_issue = True
+        verdict.hang = False
+        matched = matcher(report, verdict) if (matcher and verdict.flagged) else []
+        return {
+            "status": "ok",
+            "completed": True,
+            "verdict": verdict.to_dict(),
+            "matched": list(matched),
+            "duration": report.duration,
+            "events_processed": events,
+            "wall_seconds": wall,
+        }
+    trigger = entry.trigger
+    assert trigger is not None
+    center = trigger.center
+    verdict = evaluate_run(report, baseline)
+    needs_rerun = bool(verdict.hang and cfg.classify_timeouts and trigger.fired)
+    matched = matcher(report, verdict) if (matcher and verdict.flagged) else []
+    diagnosis = _diagnose(
+        state["system"], entry.dpoint, trigger, center, verdict, matched, report
+    )
+    outcome = InjectionOutcome(
+        dpoint=entry.dpoint,
+        fired=trigger.fired,
+        injection=center.injection,
+        verdict=verdict,
+        matched_bugs=list(matched),
+        duration=report.duration,
+        wall_seconds=wall,
+        diagnosis=diagnosis,
+    )
+    return {
+        "status": "hang" if needs_rerun else "done",
+        "outcome": outcome.to_dict(),
+    }
+
+
+def _recorder_main(
+    entries: List[_ArmedPoint],
+    scale: int,
+    rec_w: int,
+    state: Dict[str, Any],
+) -> None:
+    """Forked recorder body; every exit path is ``os._exit``.
+
+    Children must never run the parent's atexit/flush machinery on
+    inherited journal or stdio buffers, hence ``os._exit`` throughout.
+    """
+    observed = state["observed"]
+    obs = Observability() if observed else None
+    watcher = _SnapshotWatcher(entries, state)
+    watcher.rec_w = rec_w
+    out: Dict[str, Any] = {}
+    try:
+        if obs is not None:
+            # same fresh private context a replay pool worker runs under;
+            # a resumer inherits the recording prefix's spans/metrics and
+            # appends its suffix, which is exactly the telemetry one full
+            # replay run of that point would have produced
+            with obs:
+                _recording_pass(watcher, entries, scale, state, out)
+        else:
+            _recording_pass(watcher, entries, scale, state, out)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        line = {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+        if _ROLE.get("role") == "resumer":
+            _write_json_fd(_ROLE["entry"].res_w, line)
+        else:
+            _write_json_fd(rec_w, line)
+        os._exit(1)
+    payload = None
+    if obs is not None:
+        payload = {
+            "spans": [span.to_dict() for span in obs.tracer.spans],
+            "allocated": obs.tracer.ids_allocated(),
+            "metrics": obs.metrics.snapshot(),
+        }
+    if _ROLE.get("role") == "resumer":
+        entry: _ArmedPoint = _ROLE["entry"]
+        result = out["result"]
+        result["payload"] = payload
+        _write_json_fd(entry.res_w, result)
+        os._exit(0)
+    summary: Dict[str, Any] = {
+        "status": "ok",
+        "fired": list(watcher.fire_order),
+        "manifests": {str(i): m for i, m in watcher.manifests.items()},
+        "aliases": {str(i): p for i, p in watcher.aliases.items()},
+    }
+    if "unfired" in out:
+        out["unfired"]["payload"] = payload
+        summary["unfired"] = out["unfired"]
+    _write_json_fd(rec_w, summary)
+    _close_quiet(rec_w)
+    # stay alive to reap the holders (they exit when the parent closes
+    # their command pipes), so no zombies outlive the chunk
+    while True:
+        try:
+            os.wait()
+        except ChildProcessError:
+            break
+    os._exit(0)
+
+
+# ---------------------------------------------------------------------------
+# the campaign parent
+# ---------------------------------------------------------------------------
+def run_snapshot(
+    system: Any,
+    analysis: Any,
+    points: List[Any],
+    baseline: Any,
+    matcher: Any,
+    cfg: Any,
+    config: Optional[Dict[str, Any]],
+    active: Observability,
+    campaign_span: Any,
+    loaded: Dict[int, InjectionOutcome],
+    pending: List[int],
+    journal: Any,
+    workers: int,
+) -> Tuple[List[InjectionOutcome], Dict[str, Any]]:
+    """Execute pending points snapshot-style; returns (outcomes, stats).
+
+    Same contract as the replay paths in
+    :mod:`~repro.core.injection.executor`: ordered outcomes, diagnoses
+    and telemetry merged onto ``active`` in point order, journal records
+    appended as points finalize.  ``stats`` summarizes the engine's work
+    (recording runs, resumed/never-fired/fallback point counts, and the
+    kernel manifests of every snapshot taken).
+    """
+    state = {
+        "system": system, "analysis": analysis, "baseline": baseline,
+        "matcher": matcher, "cfg": cfg, "config": config,
+        "observed": active.enabled,
+    }
+    stats: Dict[str, Any] = {
+        "recording_runs": 0,
+        "resumed_points": 0,
+        "never_fired": 0,
+        "aliased_points": 0,
+        "reclassified": 0,
+        "fallback_points": 0,
+        "manifests": {},
+    }
+    results: Dict[int, Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]] = {}
+
+    # one recording pass per same-scale chunk: scale changes the cluster
+    # size, so points of different scales cannot share a prefix
+    groups: Dict[int, List[int]] = {}
+    for index in pending:
+        groups.setdefault(points[index].scale, []).append(index)
+    for indices in groups.values():
+        for start in range(0, len(indices), CHUNK):
+            chunk = indices[start:start + CHUNK]
+            entries = [_ArmedPoint(i, points[i]) for i in chunk]
+            _run_group(entries, points[chunk[0]].scale, state, workers,
+                       results, stats, journal, points)
+
+    # deterministic merge, same shape as executor._run_parallel
+    reparent_to = (
+        campaign_span.record.span_id
+        if state["observed"] and hasattr(campaign_span, "record") else None
+    )
+    outcomes: List[InjectionOutcome] = []
+    for index in range(len(points)):
+        if index in loaded:
+            restored = loaded[index]
+            if active.enabled and restored.diagnosis is not None:
+                active.diagnoses.append(restored.diagnosis)
+            outcomes.append(restored)
+            continue
+        outcome, payloads = results[index]
+        if state["observed"]:
+            for payload in payloads:
+                if payload is None:
+                    continue
+                active.tracer.adopt(payload["spans"],
+                                    allocated=payload["allocated"],
+                                    reparent_to=reparent_to)
+                active.metrics.merge_snapshot(payload["metrics"])
+        if active.enabled and outcome.diagnosis is not None:
+            active.diagnoses.append(outcome.diagnosis)
+        outcomes.append(outcome)
+    return outcomes, stats
+
+
+def _run_group(
+    entries: List[_ArmedPoint],
+    scale: int,
+    state: Dict[str, Any],
+    workers: int,
+    results: Dict[int, Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]],
+    stats: Dict[str, Any],
+    journal: Any,
+    points: List[Any],
+) -> None:
+    rec_r, rec_w = os.pipe()
+    for entry in entries:
+        entry.cmd_r, entry.cmd_w = os.pipe()
+        entry.res_r, entry.res_w = os.pipe()
+    recorder = os.fork()
+    if recorder == 0:
+        try:
+            _close_quiet(rec_r)
+            for entry in entries:
+                _close_quiet(entry.cmd_w)
+                entry.cmd_w = None
+                _close_quiet(entry.res_r)
+                entry.res_r = None
+            _recorder_main(entries, scale, rec_w, state)
+        finally:
+            os._exit(1)  # _recorder_main never returns normally
+    _close_quiet(rec_w)
+    for entry in entries:
+        _close_quiet(entry.cmd_r)
+        entry.cmd_r = None
+        _close_quiet(entry.res_w)
+        entry.res_w = None
+    stats["recording_runs"] += 1
+    try:
+        summary = _read_reply(rec_r, bytearray())
+        if summary.get("status") != "ok":
+            # the recording pass itself failed: replay the whole chunk
+            for entry in entries:
+                _finalize(entry, *_fallback_point(entry, state),
+                          results=results, stats=stats, journal=journal,
+                          fallback=True)
+            return
+        stats["manifests"].update(summary.get("manifests", {}))
+        fired = set(summary.get("fired", []))
+        aliases = {int(i): p for i, p in summary.get("aliases", {}).items()}
+        unfired = summary.get("unfired")
+        for entry in entries:
+            if entry.index in fired:
+                continue
+            stats["never_fired"] += 1
+            _close_quiet(entry.cmd_w)
+            entry.cmd_w = None
+            outcome, payloads = _unfired_outcome(entry, unfired, state)
+            _finalize(entry, outcome, payloads,
+                      results=results, stats=stats, journal=journal)
+        _drive_holders(
+            [e for e in entries if e.index in fired and e.index not in aliases],
+            state, workers, results, stats, journal)
+        # aliased points fired at the same access event as their primary:
+        # the primary's resume already computed their (byte-identical)
+        # run, so materialize each alias from the primary's outcome
+        for entry in entries:
+            if entry.index not in aliases:
+                continue
+            _close_quiet(entry.cmd_w)
+            entry.cmd_w = None
+            primary_outcome, primary_payloads = results[aliases[entry.index]]
+            stats["aliased_points"] += 1
+            _finalize(entry, _alias_outcome(primary_outcome, entry.dpoint),
+                      list(primary_payloads),
+                      results=results, stats=stats, journal=journal)
+    finally:
+        for entry in entries:
+            _close_quiet(entry.cmd_w)
+            entry.cmd_w = None
+            _close_quiet(entry.res_r)
+            entry.res_r = None
+        _close_quiet(rec_r)
+        os.waitpid(recorder, 0)
+
+
+def _drive_holders(
+    entries: List[_ArmedPoint],
+    state: Dict[str, Any],
+    workers: int,
+    results: Dict[int, Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]],
+    stats: Dict[str, Any],
+    journal: Any,
+) -> None:
+    """Resume up to ``workers`` snapshots concurrently; collect as ready."""
+    queue = list(entries)
+    inflight: Dict[int, _ArmedPoint] = {}  # res_r fd -> entry
+    max_inflight = max(1, workers)
+    while queue or inflight:
+        while queue and len(inflight) < max_inflight:
+            entry = queue.pop(0)
+            _write_json_fd(entry.cmd_w, {})
+            inflight[entry.res_r] = entry
+        ready, _, _ = select.select(list(inflight), [], [])
+        for fd in ready:
+            entry = inflight[fd]
+            reply = _read_reply(fd, entry.res_buf)
+            if entry.first is None and reply.get("status") == "hang":
+                # flagged hang: resume the same snapshot once more, with
+                # the extended deadline (Section 4.1.3's reclassification)
+                entry.first = reply
+                stats["reclassified"] += 1
+                _write_json_fd(entry.cmd_w, {"reclassify": True})
+                continue
+            del inflight[fd]
+            _close_quiet(entry.cmd_w)
+            entry.cmd_w = None
+            if entry.first is not None:
+                if reply.get("status") != "ok":
+                    _finalize(entry, *_fallback_point(entry, state),
+                              results=results, stats=stats, journal=journal,
+                              fallback=True)
+                    continue
+                stats["resumed_points"] += 1
+                _finalize(entry, *_combine_reclassified(entry, reply, state),
+                          results=results, stats=stats, journal=journal)
+            elif reply.get("status") == "done":
+                stats["resumed_points"] += 1
+                outcome = InjectionOutcome.from_dict(reply["outcome"], entry.dpoint)
+                payloads = [reply.get("payload")] if state["observed"] else []
+                _finalize(entry, outcome, payloads,
+                          results=results, stats=stats, journal=journal)
+            else:
+                _finalize(entry, *_fallback_point(entry, state),
+                          results=results, stats=stats, journal=journal,
+                          fallback=True)
+
+
+def _finalize(
+    entry: _ArmedPoint,
+    outcome: InjectionOutcome,
+    payloads: List[Optional[Dict[str, Any]]],
+    results: Dict[int, Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]],
+    stats: Dict[str, Any],
+    journal: Any,
+    fallback: bool = False,
+) -> None:
+    results[entry.index] = (outcome, payloads)
+    if fallback:
+        stats["fallback_points"] += 1
+    if journal is not None:
+        journal.record(entry.index, entry.dpoint, outcome)
+
+
+def _unfired_outcome(
+    entry: _ArmedPoint,
+    unfired: Optional[Dict[str, Any]],
+    state: Dict[str, Any],
+) -> Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]:
+    """An outcome for a point whose trigger never fired while recording.
+
+    Built from the recording run's shared verdict basis: a replay run of
+    such a point installs a trigger that never fires, so its report is
+    the recording run's report.  The trigger-shaped diagnosis fields are
+    those of any never-fired trigger (no hits, no values, no injection).
+    ``wall_seconds`` is 0.0 by convention — the point consumed no wall
+    time of its own beyond the shared recording pass.
+    """
+    assert unfired is not None, "recorder omitted the unfired basis"
+    dpoint = entry.dpoint
+    point = dpoint.point
+    verdict = OracleVerdict.from_dict(unfired["verdict"])
+    matched = list(unfired.get("matched", []))
+    diagnosis = InjectionDiagnosis(
+        system=state["system"].name,
+        point=point.describe(),
+        op=point.op,
+        field_name=point.field_name,
+        enclosing=point.enclosing,
+        stack=list(dpoint.stack),
+        scale=dpoint.scale,
+        fired=False,
+        hits=0,
+        values=[],
+        resolved_value="",
+        target_host="",
+        via_fallback=False,
+        unresolved_values=[],
+        store_size=unfired.get("store_size", 0),
+        action="",
+        injection_time=0.0,
+        killed=[],
+        verdict_kinds=verdict.kinds(),
+        flagged=verdict.flagged,
+        matched_bugs=list(matched),
+        duration=unfired["duration"],
+        events_processed=unfired.get("events_processed", 0),
+    )
+    outcome = InjectionOutcome(
+        dpoint=dpoint,
+        fired=False,
+        injection=None,
+        verdict=verdict,
+        matched_bugs=matched,
+        duration=unfired["duration"],
+        wall_seconds=0.0,
+        diagnosis=diagnosis,
+    )
+    payloads = [unfired.get("payload")] if state["observed"] else []
+    return outcome, payloads
+
+
+def _alias_outcome(primary: InjectionOutcome, dpoint: Any) -> InjectionOutcome:
+    """Clone a primary's outcome for an alias point.
+
+    The alias matched the same access event with the same op, so its
+    injection, verdict, matched bugs, and measurements are those of the
+    primary's run; only the point-identity fields of the diagnosis — which
+    replay copies straight off the DynamicCrashPoint — differ.
+    """
+    clone = InjectionOutcome.from_dict(primary.to_dict(), dpoint)
+    if clone.diagnosis is not None:
+        point = dpoint.point
+        clone.diagnosis = _dc_replace(
+            clone.diagnosis,
+            point=point.describe(),
+            op=point.op,
+            field_name=point.field_name,
+            enclosing=point.enclosing,
+            stack=list(dpoint.stack),
+            scale=dpoint.scale,
+        )
+    return clone
+
+
+def _combine_reclassified(
+    entry: _ArmedPoint,
+    reply: Dict[str, Any],
+    state: Dict[str, Any],
+) -> Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]:
+    """Fold a reclassification resume into the first resume's outcome.
+
+    Mirrors run_one_injection's hang branch: the rerun replaces verdict,
+    matched bugs, and duration only when it completed; the diagnosis
+    keeps the *first* run's trigger/center story (what fired, what was
+    resolved) with the *final* run's verdict and measurements.  The
+    second resume's telemetry payload is adopted either way — replay's
+    single combined payload covers both of its runs too.
+    """
+    assert entry.first is not None
+    first = InjectionOutcome.from_dict(entry.first["outcome"], entry.dpoint)
+    first.wall_seconds += reply.get("wall_seconds", 0.0)
+    payloads: List[Optional[Dict[str, Any]]] = []
+    if state["observed"]:
+        payloads = [entry.first.get("payload"), reply.get("payload")]
+    if not reply.get("completed"):
+        return first, payloads  # a true hang even at the extended deadline
+    verdict = OracleVerdict.from_dict(reply["verdict"])
+    matched = list(reply.get("matched", []))
+    first.verdict = verdict
+    first.matched_bugs = matched
+    first.duration = reply["duration"]
+    if first.diagnosis is not None:
+        first.diagnosis = _dc_replace(
+            first.diagnosis,
+            verdict_kinds=verdict.kinds(),
+            flagged=verdict.flagged,
+            matched_bugs=list(matched),
+            duration=reply["duration"],
+            events_processed=reply.get("events_processed", 0),
+        )
+    return first, payloads
+
+
+def _fallback_point(
+    entry: _ArmedPoint,
+    state: Dict[str, Any],
+) -> Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]:
+    """In-process replay of one point (any child-side failure lands here)."""
+    if not state["observed"]:
+        outcome = run_one_injection(
+            state["system"], state["analysis"], entry.dpoint, state["baseline"],
+            campaign=state["cfg"], config=state["config"],
+            matcher=state["matcher"],
+        )
+        return outcome, []
+    obs = Observability()
+    with obs:
+        outcome = run_one_injection(
+            state["system"], state["analysis"], entry.dpoint, state["baseline"],
+            campaign=state["cfg"], config=state["config"],
+            matcher=state["matcher"],
+        )
+    payload = {
+        "spans": [span.to_dict() for span in obs.tracer.spans],
+        "allocated": obs.tracer.ids_allocated(),
+        "metrics": obs.metrics.snapshot(),
+    }
+    return outcome, [payload]

@@ -17,6 +17,29 @@ from repro.core.injection.control_center import ControlCenter
 from repro.core.profiler import DynamicCrashPoint
 
 
+def point_matches(dpoint: DynamicCrashPoint, event: AccessEvent) -> bool:
+    """Does a runtime access event match a dynamic crash point?
+
+    Location, operation, field, and the bounded call stack must all agree;
+    promoted points match their call site (second stack frame) instead of
+    the physical access location.
+    """
+    point = dpoint.point
+    if event.op != point.op:
+        return False
+    if (event.field.cls, event.field.name) != (point.field_cls, point.field_name):
+        return False
+    if point.promoted:
+        if len(event.stack) < 2:
+            return False
+        if event.stack[1] != f"{point.module}.{point.enclosing}:{point.lineno}":
+            return False
+    else:
+        if event.location != (point.module, point.lineno):
+            return False
+    return event.stack == dpoint.stack
+
+
 class Trigger:
     """Arms one dynamic crash point on the global access bus."""
 
@@ -44,24 +67,21 @@ class Trigger:
 
     # ------------------------------------------------------------------
     def _matches(self, event: AccessEvent) -> bool:
-        point = self.dpoint.point
-        if event.op != point.op:
-            return False
-        if (event.field.cls, event.field.name) != (point.field_cls, point.field_name):
-            return False
-        if point.promoted:
-            if len(event.stack) < 2:
-                return False
-            if event.stack[1] != f"{point.module}.{point.enclosing}:{point.lineno}":
-                return False
-        else:
-            if event.location != (point.module, point.lineno):
-                return False
-        return event.stack == self.dpoint.stack
+        return point_matches(self.dpoint, event)
 
     def _hook(self, event: AccessEvent) -> None:
         if self.fired or not self._matches(event):
             return
+        self.fire(event)
+
+    def fire(self, event: AccessEvent) -> None:
+        """Perform the injection for a matching access event.
+
+        Split out of the hook so the snapshot execution mode can fire an
+        armed point against a restored world at exactly the captured
+        access event, bypassing the matching that already happened during
+        the recording pass.
+        """
         self.hits += 1
         self.fired = True  # each dynamic crash point is exercised once
         values = list(event.values)

@@ -57,6 +57,9 @@ class CrashTunerResult:
         ``workers`` and ``test_speedup`` report how the test phase was
         parallelized — speedup is the summed per-run wall time over the
         campaign's wall time, i.e. the realized parallelism.
+        ``execution`` is the mode the test phase actually ran under
+        (``replay`` re-runs every prefix; ``snapshot`` resumes each
+        injection from a fork at its fire instant).
         """
         row = {
             "analysis_wall_s": sum(self.analysis.timings.values()),
@@ -65,6 +68,7 @@ class CrashTunerResult:
             "test_sim_s": self.campaign.sim_seconds if self.campaign else 0.0,
             "workers": self.campaign.workers if self.campaign else 1,
             "test_speedup": self.campaign.speedup if self.campaign else 0.0,
+            "execution": self.campaign.execution if self.campaign else "replay",
         }
         row["total_wall_s"] = (
             row["analysis_wall_s"] + row["profile_wall_s"] + row["test_wall_s"]

@@ -48,6 +48,23 @@ class Event:
         """Prevent the event from firing.  Idempotent."""
         self._cancelled = True
 
+    def clone(self) -> "Event":
+        """A detached copy sharing the callback but nothing mutable.
+
+        The copy keeps the original ``seq`` (so a restored queue replays
+        in the exact original order) and does **not** consume the global
+        sequence counter — cloning a queue for a checkpoint must not
+        perturb the ordering of events scheduled afterwards.
+        """
+        event = Event.__new__(Event)
+        event.time = self.time
+        event.seq = self.seq
+        event.callback = self.callback
+        event.owner = self.owner
+        event.kind = self.kind
+        event._cancelled = self._cancelled
+        return event
+
     @property
     def cancelled(self) -> bool:
         return self._cancelled

@@ -27,7 +27,8 @@ the kernel itself.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import NodeCrashedError, SimulationError
 from repro.obs.context import NULL_OBS, Observability
@@ -36,6 +37,44 @@ from repro.sim.events import Event
 # Type of the hook invoked when a callback raises a non-crash exception.
 # Receives (event, exception); returns True if the exception was consumed.
 ExceptionHandler = Callable[[Event, BaseException], bool]
+
+
+@dataclass(frozen=True)
+class LoopCheckpoint:
+    """Frozen kernel state of a :class:`SimLoop` at one instant.
+
+    Holds the clock, the processed-event counter, and a detached clone of
+    the event queue (callback references shared, mutable flags copied —
+    see :meth:`Event.clone`).  The checkpoint itself is never mutated by
+    :meth:`SimLoop.restore`, so one checkpoint supports any number of
+    restores.
+
+    Scope note (the snapshot execution mode's determinism argument, see
+    DESIGN.md): a checkpoint restores the *kernel's* state exactly, but
+    queued callbacks are closures over live system objects — restoring
+    the queue into a world whose node state has moved on does not rewind
+    those objects.  In-process restore is therefore sound for kernel
+    workloads (pure callbacks, or callers that restore the referenced
+    state alongside); the injection campaign's snapshot mode snapshots
+    whole worlds by forking the process instead, and uses checkpoints as
+    integrity manifests of what each snapshot contained.
+    """
+
+    now: float
+    events_processed: int
+    events: tuple  # Tuple[Event, ...], a valid heap (same sort keys)
+
+    def pending(self) -> int:
+        """Live (non-cancelled) events captured in this checkpoint."""
+        return sum(1 for e in self.events if not e.cancelled)
+
+    def manifest(self) -> Dict[str, Any]:
+        """A small JSON-able identity of the checkpointed kernel state."""
+        return {
+            "time": self.now,
+            "events_processed": self.events_processed,
+            "pending_events": self.pending(),
+        }
 
 
 class SimLoop:
@@ -49,7 +88,9 @@ class SimLoop:
         self._now = 0.0
         self._events_processed = 0
         self._pump_depth = 0
+        self._in_handler = 0
         self._stopped = False
+        self._deadline_override: Optional[float] = None
         self.exception_handler: Optional[ExceptionHandler] = None
         #: observability sink; Cluster installs the ambient context here.
         #: Observation must never schedule events or consume RNG — the
@@ -116,6 +157,49 @@ class SimLoop:
         """Ask the outermost :meth:`run` to return after the current event."""
         self._stopped = True
 
+    def override_deadline(self, until: Optional[float]) -> None:
+        """Replace the ``until`` deadline of the :meth:`run` in flight.
+
+        Consumed once, by the innermost :meth:`run` currently driving (or
+        the next one started, if none is): from the next event boundary
+        that run behaves exactly as if it had been called with this
+        deadline.  An override not consumed by the time its run returns is
+        discarded — it must never leak into a subsequent run (e.g. the
+        post-workload cooldown drive).  The snapshot execution mode uses
+        this to resume an injection from mid-run with an extended
+        hang-classification deadline, which a fresh replay would have
+        passed as ``until``.
+        """
+        self._deadline_override = until
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (kernel state only — see LoopCheckpoint)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> LoopCheckpoint:
+        """Capture clock, counters, and a detached clone of the queue."""
+        return LoopCheckpoint(
+            now=self._now,
+            events_processed=self._events_processed,
+            events=tuple(e.clone() for e in self._queue),
+        )
+
+    def restore(self, checkpoint: LoopCheckpoint) -> None:
+        """Reinstall a checkpoint taken from this (or an equivalent) loop.
+
+        The queue is re-cloned from the checkpoint so the checkpoint
+        stays pristine for further restores; clock and processed-event
+        counter rewind to the captured values.  Must not be called from
+        inside a running handler.
+        """
+        if self._pump_depth or self._in_handler:
+            raise SimulationError("cannot restore inside a running handler")
+        self._queue = [e.clone() for e in checkpoint.events]
+        heapq.heapify(self._queue)  # clones share sort keys: cheap no-op pass
+        self._now = checkpoint.now
+        self._events_processed = checkpoint.events_processed
+        self._stopped = False
+        self._deadline_override = None
+
     # ------------------------------------------------------------------
     # driving
     # ------------------------------------------------------------------
@@ -138,31 +222,43 @@ class SimLoop:
         self._stopped = False
         processed = 0
         stopped_by_predicate = False
-        while self._queue and not self._stopped:
-            event = self._queue[0]
-            if event.cancelled:
+        try:
+            while self._queue and not self._stopped:
+                if self._deadline_override is not None:
+                    # consumed by the innermost run in flight (see
+                    # override_deadline): from here on this run behaves as
+                    # if it had been called with the overriding deadline
+                    until = self._deadline_override
+                    self._deadline_override = None
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
                 heapq.heappop(self._queue)
-                continue
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(self._queue)
-            self._fire(event)
-            processed += 1
-            if processed > max_events:
-                raise SimulationError(f"event budget exceeded ({max_events})")
-            if stop_when is not None and stop_when():
-                stopped_by_predicate = True
-                break
-        # On deadline or quiescence the clock advances to the deadline (so
-        # timeout-relative behaviour is observable); an early predicate stop
-        # must leave the clock at the stopping event.
-        if (
-            until is not None
-            and self._now < until
-            and not stopped_by_predicate
-            and not self._stopped
-        ):
-            self._now = until
+                self._fire(event)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(f"event budget exceeded ({max_events})")
+                if stop_when is not None and stop_when():
+                    stopped_by_predicate = True
+                    break
+            # On deadline or quiescence the clock advances to the deadline
+            # (so timeout-relative behaviour is observable); an early
+            # predicate stop must leave the clock at the stopping event.
+            if (
+                until is not None
+                and self._now < until
+                and not stopped_by_predicate
+                and not self._stopped
+            ):
+                self._now = until
+        finally:
+            # an override aimed at this run but set too late to be consumed
+            # (the run ended at that very event) must not leak into the
+            # next run
+            self._deadline_override = None
 
     def pump(self, duration: float, max_events: int = 200_000) -> None:
         """Reentrantly process events for ``duration`` simulated seconds.
@@ -213,6 +309,7 @@ class SimLoop:
             metrics.counter("sim.events_processed").inc()
             metrics.counter(f"sim.events.{event.kind}").inc()
             metrics.histogram("sim.queue_depth").observe(len(self._queue))
+        self._in_handler += 1
         try:
             event.callback()
         except NodeCrashedError:
@@ -224,3 +321,5 @@ class SimLoop:
                 handled = self.exception_handler(event, exc)
             if not handled:
                 raise
+        finally:
+            self._in_handler -= 1

@@ -1,0 +1,226 @@
+"""The snapshot executor's contract: snapshot == replay, only faster.
+
+A campaign run with ``CampaignConfig(execution="snapshot")`` forks the
+recording pass at each point's first-fire instant and executes only the
+suffix per injection.  It must be outcome- and report-identical to the
+replay executor — same outcomes in point order, same verdicts and matched
+bugs, same diagnoses, same merged metrics and re-stitched trace — with
+only wall-clock times allowed to differ.  Any child-side failure must
+degrade to an in-process replay of the affected point(s), never to a
+different answer.  Plus the small-campaign degrade rule: a replay
+campaign with fewer than ``workers * 2`` pending points runs in-process
+unless ``force_workers`` pins the pool.
+"""
+
+import json
+
+import pytest
+
+from repro.bugs import matcher_for_system
+from repro.core.injection import CampaignConfig, run_campaign
+from repro.obs import Observability
+from tests.conftest import prepared
+
+N_POINTS = 12
+
+#: wall-clock-dependent span attrs / outcome fields, excluded from identity
+_WALL_ATTRS = ("wall_seconds", "workers")
+
+
+def _campaign(system_name="yarn", n_points=N_POINTS, obs=None,
+              journal_path=None, points=None, **knobs):
+    system, analysis, profile, baseline = prepared(system_name)
+    cfg = CampaignConfig(journal_path=journal_path, **knobs)
+    if points is None:
+        points = profile.dynamic_points[:n_points]
+    return run_campaign(
+        system, analysis, points, campaign=cfg,
+        baseline=baseline, matcher=matcher_for_system(system_name), obs=obs,
+    )
+
+
+def _outcome_dicts(result):
+    dicts = [o.to_dict() for o in result.outcomes]
+    for d in dicts:
+        d.pop("wall_seconds")
+    return dicts
+
+
+def _span_dicts(obs):
+    spans = [span.to_dict() for span in obs.tracer.spans]
+    for span in spans:
+        for attr in _WALL_ATTRS:
+            span.get("attrs", {}).pop(attr, None)
+    return spans
+
+
+def _fingerprint(obs):
+    return json.dumps([d.to_dict() for d in obs.diagnoses], sort_keys=True)
+
+
+def _bugs(result):
+    return {bug: sorted(o.dpoint.point.describe() for o in outcomes)
+            for bug, outcomes in result.detected_bugs().items()}
+
+
+# ----------------------------------------------------------------------
+# equivalence: snapshot is byte-identical to replay
+# ----------------------------------------------------------------------
+
+def test_snapshot_identical_to_replay_with_obs():
+    prepared("yarn")  # warm the cache outside the obs contexts
+    obs_rep, obs_snap = Observability(), Observability()
+    with obs_rep:
+        rep = _campaign(obs=obs_rep)
+    with obs_snap:
+        snap = _campaign(obs=obs_snap, execution="snapshot")
+
+    assert rep.execution == "replay" and snap.execution == "snapshot"
+    assert _outcome_dicts(snap) == _outcome_dicts(rep)
+    assert _bugs(snap) == _bugs(rep)
+    assert snap.sim_seconds == rep.sim_seconds
+    # merged metrics are exactly the replay snapshot
+    assert obs_snap.metrics.snapshot() == obs_rep.metrics.snapshot()
+    # re-stitched trace: same spans, same ids, same parentage, same order
+    assert _span_dicts(obs_snap) == _span_dicts(obs_rep)
+    assert obs_snap.tracer.dropped == obs_rep.tracer.dropped
+    assert _fingerprint(obs_snap) == _fingerprint(obs_rep)
+
+
+def test_snapshot_identical_on_hbase():
+    rep = _campaign("hbase", n_points=10)
+    snap = _campaign("hbase", n_points=10, execution="snapshot")
+    assert _outcome_dicts(snap) == _outcome_dicts(rep)
+    assert _bugs(snap) == _bugs(rep)
+    assert [d.to_dict() for d in snap.diagnoses()] == \
+        [d.to_dict() for d in rep.diagnoses()]
+
+
+def test_snapshot_reports_engine_stats():
+    snap = _campaign(execution="snapshot")
+    rep = _campaign(n_points=2)
+    stats = snap.snapshot_stats
+    assert stats is not None and rep.snapshot_stats is None
+    accounted = (stats["resumed_points"] + stats["never_fired"]
+                 + stats["aliased_points"] + stats["fallback_points"])
+    assert accounted == N_POINTS
+    assert stats["recording_runs"] >= 1
+    assert stats["fallback_points"] == 0
+    # a flagged hang in this prefix is reclassified by resuming the same
+    # snapshot a second time under the extended deadline
+    assert stats["reclassified"] >= 1
+    # every fired point left a kernel manifest of what its snapshot held
+    for manifest in stats["manifests"].values():
+        assert manifest["rng"] and manifest["point"]
+        assert manifest["events_processed"] >= 0
+
+
+def test_snapshot_with_workers_matches_single():
+    one = _campaign(execution="snapshot")
+    two = _campaign(execution="snapshot", workers=2)
+    assert _outcome_dicts(two) == _outcome_dicts(one)
+    assert two.workers_realized == 2
+    assert [d.to_dict() for d in two.diagnoses()] == \
+        [d.to_dict() for d in one.diagnoses()]
+
+
+def test_snapshot_aliases_points_sharing_a_fire_event():
+    """Two points firing at the same access event share one resume."""
+    system, analysis, profile, baseline = prepared("yarn")
+    dpoint = profile.dynamic_points[0]
+    points = [dpoint, dpoint]  # same point twice: same first-fire event
+    rep = _campaign(points=points)
+    snap = _campaign(points=points, execution="snapshot")
+    assert _outcome_dicts(snap) == _outcome_dicts(rep)
+    assert snap.snapshot_stats["aliased_points"] == 1
+    assert snap.snapshot_stats["resumed_points"] == 1
+
+
+# ----------------------------------------------------------------------
+# journal: kill mid-campaign, resume — across execution modes too
+# ----------------------------------------------------------------------
+
+def test_snapshot_journal_resume_after_partial_run(tmp_path):
+    reference = _campaign()
+    journal = tmp_path / "campaign.jsonl"
+
+    full = _campaign(journal_path=str(journal), execution="snapshot")
+    assert _outcome_dicts(full) == _outcome_dicts(reference)
+    lines = journal.read_text().splitlines()
+    assert len(lines) == N_POINTS + 1  # meta + one line per point
+
+    # simulate a kill after 4 completed points, mid-write of the 5th
+    journal.write_text("\n".join(lines[:5]) + "\n" + lines[5][:37])
+
+    resumed = _campaign(journal_path=str(journal), execution="snapshot")
+    assert resumed.resumed == 4
+    assert _outcome_dicts(resumed) == _outcome_dicts(reference)
+    assert _bugs(resumed) == _bugs(reference)
+
+
+def test_journal_crosses_execution_modes(tmp_path):
+    """The journal pins *what* was computed, not *how* — a campaign
+    interrupted under replay resumes under snapshot (and vice versa)."""
+    reference = _campaign()
+    journal = tmp_path / "campaign.jsonl"
+    _campaign(journal_path=str(journal))
+    lines = journal.read_text().splitlines()
+    journal.write_text("\n".join(lines[:7]) + "\n")  # meta + 6 outcomes
+
+    resumed = _campaign(journal_path=str(journal), execution="snapshot")
+    assert resumed.resumed == 6
+    assert _outcome_dicts(resumed) == _outcome_dicts(reference)
+
+
+# ----------------------------------------------------------------------
+# degradation: child failures fall back to in-process replay
+# ----------------------------------------------------------------------
+
+def test_snapshot_falls_back_per_point_on_resumer_error(monkeypatch):
+    reference = _campaign(n_points=4)
+    import repro.core.injection.snapshot as snapshot_mod
+
+    def _boom(report, state):
+        raise RuntimeError("resumer judged nothing")
+
+    # children inherit the patched module through fork
+    monkeypatch.setattr(snapshot_mod, "_resumer_result", _boom)
+    snap = _campaign(n_points=4, execution="snapshot")
+    assert _outcome_dicts(snap) == _outcome_dicts(reference)
+    assert snap.snapshot_stats["fallback_points"] == 4
+    assert snap.snapshot_stats["resumed_points"] == 0
+
+
+def test_snapshot_falls_back_whole_chunk_when_recorder_dies(monkeypatch):
+    reference = _campaign(n_points=4)
+    import repro.core.injection.snapshot as snapshot_mod
+
+    def _boom(*args, **kwargs):
+        raise RuntimeError("no recording pass today")
+
+    monkeypatch.setattr(snapshot_mod, "run_workload", _boom)
+    snap = _campaign(n_points=4, execution="snapshot")
+    assert _outcome_dicts(snap) == _outcome_dicts(reference)
+    assert snap.snapshot_stats["fallback_points"] == 4
+    assert snap.snapshot_stats["recording_runs"] == 1
+
+
+# ----------------------------------------------------------------------
+# config surface
+# ----------------------------------------------------------------------
+
+def test_campaign_config_rejects_unknown_execution():
+    with pytest.raises(ValueError, match="execution"):
+        CampaignConfig(execution="teleport")
+
+
+def test_small_replay_campaign_degrades_to_in_process():
+    # 4 points < workers * 2: pool startup would dominate (Table 11's
+    # zookeeper/cassandra rows), so the campaign runs in-process...
+    degraded = _campaign(n_points=4, workers=4)
+    assert degraded.workers == 4  # the *requested* pool size is kept
+    assert degraded.workers_realized == 1
+    # ...unless the caller explicitly pins the pool
+    forced = _campaign(n_points=4, workers=4, force_workers=True)
+    assert forced.workers_realized == 4
+    assert _outcome_dicts(forced) == _outcome_dicts(degraded)
