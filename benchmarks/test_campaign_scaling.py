@@ -7,8 +7,11 @@ Two executor contracts are checked against the sequential replay run:
   cores (asserted only when >= 4 cores and >= 4 workers, so single-core
   CI boxes still validate correctness);
 * the **snapshot** campaign (``execution="snapshot"``, workers=1) must
-  be outcome-identical always, and at least 2x faster *unconditionally*
+  be outcome-identical always, and at least 1.5x faster *unconditionally*
   — its win comes from not re-executing prefixes, not from extra cores.
+  (The bar was 2x before the log hot-path fast lane; making every
+  replayed prefix cheaper shrinks exactly the redundancy snapshot mode
+  exists to skip, so its relative advantage narrowed.)
 
 The measured numbers are written to ``benchmarks/out/BENCH_campaign.json``
 for the CI artifact.
@@ -91,8 +94,11 @@ def test_campaign_scaling(benchmark, table_out):
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "BENCH_campaign.json").write_text(json.dumps(record, indent=2) + "\n")
 
-    # snapshot's bar holds everywhere: one process, no extra cores needed
-    assert snapshot_speedup >= 2.0, (
+    # snapshot's bar holds everywhere: one process, no extra cores needed.
+    # 1.5x, down from 2x: the log hot-path fast lane cut the cost of the
+    # very prefixes snapshot mode avoids re-executing (BENCH_hotpath.json
+    # records the absolute replay reduction that bought this down).
+    assert snapshot_speedup >= 1.5, (
         f"snapshot campaign only {snapshot_speedup:.2f}x faster than replay "
         f"({record['replay_wall_s']}s vs {record['snapshot_wall_s']}s)")
     # parallel's bar only on a machine that can actually go 2x wide

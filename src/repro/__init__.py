@@ -26,13 +26,14 @@ from repro.api import (
     Observability,
     all_systems,
     crashtuner,
+    fast_lane,
     get_system,
     run_campaign,
     run_workload,
 )
 from repro import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CampaignConfig",
@@ -42,6 +43,7 @@ __all__ = [
     "all_systems",
     "api",
     "crashtuner",
+    "fast_lane",
     "get_system",
     "run_campaign",
     "run_workload",

@@ -20,7 +20,11 @@ The supported surface:
   simulated systems under test (Table 4),
 * :func:`build_baseline` / :class:`Baseline` and
   :func:`matcher_for_system` — the clean-run oracle baseline and the
-  bug-attribution matchers ``run_campaign`` consumes.
+  bug-attribution matchers ``run_campaign`` consumes,
+* :func:`fast_lane` — context manager forcing the log hot-path's
+  template-identity fast lane on or off (off = the paper-faithful
+  scored-regex matching; both lanes are report-identical, see DESIGN.md
+  "Log hot path").
 
 >>> from repro.api import CampaignConfig, crashtuner, get_system
 >>> result = crashtuner(get_system("yarn"), campaign=CampaignConfig(workers=4))
@@ -33,6 +37,7 @@ The supported surface:
 # import of repro.bugs (from pipeline) has already completed.
 from repro.core.pipeline import CrashTunerResult, crashtuner
 from repro.bugs import matcher_for_system
+from repro.core.analysis.patterns import fast_lane
 from repro.core.injection import (
     Baseline,
     CampaignConfig,
@@ -54,6 +59,7 @@ __all__ = [
     "all_systems",
     "build_baseline",
     "crashtuner",
+    "fast_lane",
     "get_system",
     "matcher_for_system",
     "run_campaign",

@@ -53,11 +53,36 @@ _SUBSTRATE_PREFIXES = (
 )
 
 
+_SUBSTRATE_MODULE_CACHE: Dict[str, bool] = {}
+
+
 def _is_substrate_module(module: str) -> bool:
-    return any(
-        module == prefix or module.startswith(prefix + ".")
-        for prefix in _SUBSTRATE_PREFIXES
-    )
+    cached = _SUBSTRATE_MODULE_CACHE.get(module)
+    if cached is None:
+        cached = _SUBSTRATE_MODULE_CACHE[module] = any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _SUBSTRATE_PREFIXES
+        )
+    return cached
+
+
+# Per-callsite memoization for the frame walk below, which runs for every
+# access event the bus emits (the profiler's hottest path).  A frame's
+# module is constant per code object, and its line is constant per
+# (code object, instruction offset) — so neither f_globals lookups nor
+# f_lineno computations (CPython derives the line from the line table on
+# every read) need to happen more than once per call site.
+_FRAME_MODULE_CACHE: Dict[Any, str] = {}
+_SITE_CACHE: Dict[Tuple[Any, int], Tuple[str, int]] = {}
+_STACK_ENTRY_CACHE: Dict[Tuple[Any, int], str] = {}
+
+
+def _frame_module(frame: Any) -> str:
+    code = frame.f_code
+    module = _FRAME_MODULE_CACHE.get(code)
+    if module is None:
+        module = _FRAME_MODULE_CACHE[code] = frame.f_globals.get("__name__", "?")
+    return module
 
 
 def capture_caller(
@@ -75,25 +100,32 @@ def capture_caller(
     which is what lets promoted crash points match their call sites.
     """
     frame = sys._getframe(skip + 1)
-    while frame is not None and frame.f_globals.get("__name__") == emitting_module:
+    while frame is not None and _frame_module(frame) == emitting_module:
         frame = frame.f_back
     if frame is None:  # pragma: no cover - defensive
         return ("?", 0), ()
-    location = (frame.f_globals.get("__name__", "?"), frame.f_lineno)
+    site = (frame.f_code, frame.f_lasti)
+    location = _SITE_CACHE.get(site)
+    if location is None:
+        location = _SITE_CACHE[site] = (_frame_module(frame), frame.f_lineno)
     if not capture_stack:
         return location, ()
     stack: List[str] = []
     f: Any = frame
     while f is not None and len(stack) < depth:
-        module = f.f_globals.get("__name__", "?")
+        module = _frame_module(f)
         if _is_substrate_module(module):
             # The dispatch frame (node._enter, the event loop) is the end
             # of the logical thread: frames above it belong to the harness
             # that drives the simulation, not to the system under test.
             break
-        code = f.f_code
-        qualname = getattr(code, "co_qualname", code.co_name)
-        stack.append(f"{module}.{qualname}:{f.f_lineno}")
+        site = (f.f_code, f.f_lasti)
+        entry = _STACK_ENTRY_CACHE.get(site)
+        if entry is None:
+            code = f.f_code
+            qualname = getattr(code, "co_qualname", code.co_name)
+            entry = _STACK_ENTRY_CACHE[site] = f"{module}.{qualname}:{f.f_lineno}"
+        stack.append(entry)
         f = f.f_back
     return location, tuple(stack)
 

@@ -20,7 +20,13 @@ from repro.core.analysis.logging_statements import (
     load_sources,
 )
 from repro.core.analysis.meta_graph import MetaInfoGraph, host_in_value
-from repro.core.analysis.patterns import LogPattern, PatternIndex, pattern_for
+from repro.core.analysis.patterns import (
+    LogPattern,
+    PatternIndex,
+    fast_lane,
+    fast_lane_enabled,
+    pattern_for,
+)
 from repro.core.analysis.static_points import (
     AccessPoint,
     CrashPointResult,

@@ -1,9 +1,11 @@
 """Offline log analysis (paper Section 3.1.1).
 
-Input: runtime log instances (rendered messages only — the analysis does
-not peek at the logger's structured arguments), the pattern index built
-from the system's logging statements, and the cluster host list from the
-deployment configuration.
+Input: runtime log instances, the pattern index built from the system's
+logging statements, and the cluster host list from the deployment
+configuration.  Matching takes the template-identity fast lane when a
+record carries its statement identity (our own loggers always do) and
+falls back to the paper's rendered-text scored-regex scheme otherwise —
+see :mod:`repro.core.analysis.patterns` for why both lanes are kept.
 
 Output: the meta-info graph, plus the set of *logged meta-info variables*
 — (logging statement, placeholder slot) pairs whose runtime values turned
@@ -50,7 +52,9 @@ def analyze_logs(
     instances: List[Tuple[Tuple[str, int], Tuple[str, ...]]] = []
     matched = unmatched = 0
     for record in records:
-        hit = index.match(record.message)
+        # template-identity fast lane when the record carries its statement
+        # identity; scored regex over the rendered message otherwise
+        hit = index.match_record(record)
         if hit is None:
             unmatched += 1
             continue

@@ -5,18 +5,58 @@ by ``(.*)`` (Figure 5(b)).  Matching a runtime instance to a pattern uses
 the reverse-index scheme of Xu et al. [58] that the paper adopts: constant
 tokens index into the pattern set, the candidates are scored by token
 overlap, the 10 best are tried for an exact regex match.
+
+The scored-regex scheme exists because real deployments only have rendered
+text.  In this reproduction the emitting logger preserves the statement's
+literal template, the call-site location, and the pre-split argument
+values on every :class:`~repro.mtlog.records.LogRecord` — everything the
+regex path is trying to recover.  :meth:`PatternIndex.match_record`
+therefore takes a **template-identity fast lane**: two dict lookups
+(template, then location when two statements share a template) resolve the
+pattern, and ``record.args`` are the slot values directly.  The scored
+regex path remains for rendered-text-only inputs (foreign logs, tests)
+and as the paper-faithful fallback whenever identity cannot resolve a
+record unambiguously; :func:`fast_lane` can force it for cross-checking —
+the regression suite asserts both lanes produce byte-identical campaigns.
 """
 
 from __future__ import annotations
 
 import re
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis.logging_statements import LogStatement
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9_/.:-]+")
+
+#: process-wide switch for the template-identity fast lane; forked campaign
+#: workers inherit it, so one flag governs a whole campaign
+_FAST_LANE = True
+
+
+def fast_lane_enabled() -> bool:
+    """Whether :meth:`PatternIndex.match_record` may use template identity."""
+    return _FAST_LANE
+
+
+@contextmanager
+def fast_lane(enabled: bool):
+    """Temporarily force the fast lane on or off (tests, benchmarks).
+
+    ``fast_lane(False)`` makes every consumer take the paper's scored-regex
+    path over rendered messages — the cross-check lane the byte-identity
+    regression tests compare against.
+    """
+    global _FAST_LANE
+    previous = _FAST_LANE
+    _FAST_LANE = enabled
+    try:
+        yield
+    finally:
+        _FAST_LANE = previous
 
 
 def tokenize(text: str) -> List[str]:
@@ -65,7 +105,16 @@ def pattern_for(statement: LogStatement) -> LogPattern:
 
 
 class PatternIndex:
-    """Reverse index from constant tokens to patterns, with scored lookup."""
+    """Reverse index from constant tokens to patterns, with scored lookup.
+
+    Two lookup structures coexist:
+
+    * the paper's token reverse index, feeding :meth:`candidates` /
+      :meth:`match` (rendered text in, scored regex out);
+    * an exact-identity table — template -> pattern indices, plus
+      statement location -> pattern index for disambiguating statements
+      that share one template — feeding :meth:`match_record`.
+    """
 
     #: the paper tries the 10 highest-scoring candidates (Section 3.3)
     CANDIDATES = 10
@@ -73,9 +122,13 @@ class PatternIndex:
     def __init__(self, patterns: Sequence[LogPattern]):
         self.patterns = list(patterns)
         self._by_token: Dict[str, List[int]] = defaultdict(list)
+        self._by_template: Dict[str, List[int]] = {}
+        self._by_location: Dict[Tuple[str, int], int] = {}
         for i, pattern in enumerate(self.patterns):
             for token in set(tokenize(pattern.template.replace("{}", " "))):
                 self._by_token[token].append(i)
+            self._by_template.setdefault(pattern.template, []).append(i)
+            self._by_location[pattern.statement.key()] = i
 
     @classmethod
     def from_statements(cls, statements: Sequence[LogStatement]) -> "PatternIndex":
@@ -97,3 +150,52 @@ class PatternIndex:
             if values is not None:
                 return pattern, values
         return None
+
+    # ------------------------------------------------------------------
+    # template-identity fast lane
+    # ------------------------------------------------------------------
+    def match_identity(
+        self,
+        template: str,
+        location: Tuple[str, int],
+        args: Tuple[str, ...],
+    ) -> Optional[Tuple[LogPattern, Tuple[str, ...]]]:
+        """Resolve a structured record by exact statement identity.
+
+        O(1): template lookup, then (only when two statements share the
+        template) the call-site location breaks the tie.  ``args`` become
+        the slot values directly — they are the exact strings the regex
+        would have to re-extract from the rendered message.  Returns None
+        whenever identity cannot decide *unambiguously*: unknown template,
+        shared template whose location is not a known statement, or an
+        argument-count mismatch (a logging bug in the system under test —
+        extra args are appended to the rendered text, missing ones render
+        as ``{}``, so only the regex over the rendered message gives the
+        slow lane's answer).
+        """
+        indices = self._by_template.get(template)
+        if indices is None:
+            return None
+        if len(indices) == 1:
+            index = indices[0]
+        else:
+            index = self._by_location.get(location, -1)
+            if index not in indices:
+                return None
+        pattern = self.patterns[index]
+        if len(args) != pattern.num_slots:
+            return None
+        return pattern, args
+
+    def match_record(self, record) -> Optional[Tuple[LogPattern, Tuple[str, ...]]]:
+        """Match a :class:`~repro.mtlog.records.LogRecord`: identity first.
+
+        The fast lane never renders the record; only on an identity miss
+        (or with :func:`fast_lane` forced off) does ``record.message``
+        get formatted and pushed through the scored-regex path.
+        """
+        if _FAST_LANE:
+            hit = self.match_identity(record.template, record.location, record.args)
+            if hit is not None:
+                return hit
+        return self.match(record.message)

@@ -18,7 +18,6 @@ one, only ``wall_seconds`` differs.
 from __future__ import annotations
 
 import time as _wallclock
-import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
@@ -50,8 +49,9 @@ class CampaignConfig:
 
     Replaces the loose ``seed``/``wait``/... kwargs that used to be
     threaded through ``crashtuner`` → ``run_campaign`` →
-    ``run_one_injection``; those kwargs remain as deprecation shims for
-    one release.
+    ``run_one_injection``; their one-release deprecation shims are gone —
+    passing the old kwargs (or an int seed in the ``campaign`` slot) is a
+    TypeError.
 
     Attributes:
         wait: simulated seconds the reading thread blocks after a
@@ -105,29 +105,25 @@ class CampaignConfig:
 
 
 def _coerce_campaign(
-    campaign: Optional[Union["CampaignConfig", int]],
-    legacy: Dict[str, Any],
+    campaign: Optional[CampaignConfig],
     caller: str,
 ) -> CampaignConfig:
-    """Fold deprecated loose kwargs into one CampaignConfig.
+    """Validate the ``campaign`` argument (the loose-kwargs shim era ended).
 
-    ``campaign`` may arrive as an int from pre-CampaignConfig call sites
-    that passed ``seed`` in this position; that and every non-``None``
-    entry of ``legacy`` is accepted with a DeprecationWarning (shims kept
-    for one release).
+    The one-release ``DeprecationWarning`` shims that folded loose
+    ``seed``/``wait``/... kwargs (including a positional int seed in this
+    slot) into a :class:`CampaignConfig` have been removed: anything but a
+    :class:`CampaignConfig` or ``None`` is a TypeError now.
     """
-    if isinstance(campaign, int):
-        legacy = dict(legacy, seed=campaign)
-        campaign = None
-    overrides = {k: v for k, v in legacy.items() if v is not None}
-    if overrides:
-        warnings.warn(
-            f"{caller}: keyword(s) {', '.join(sorted(overrides))} are deprecated; "
-            f"pass campaign=CampaignConfig(...) instead",
-            DeprecationWarning, stacklevel=3,
+    if campaign is None:
+        return CampaignConfig()
+    if not isinstance(campaign, CampaignConfig):
+        raise TypeError(
+            f"{caller}: campaign must be a CampaignConfig (or None), "
+            f"got {type(campaign).__name__} — the deprecated loose-kwargs "
+            f"shims were removed; pass campaign=CampaignConfig(...)"
         )
-    config = campaign if campaign is not None else CampaignConfig()
-    return config.replace(**overrides) if overrides else config
+    return campaign
 
 
 @dataclass
@@ -234,21 +230,13 @@ def run_one_injection(
     analysis: AnalysisReport,
     dpoint: DynamicCrashPoint,
     baseline: Baseline,
-    campaign: Optional[Union[CampaignConfig, int]] = None,
+    campaign: Optional[CampaignConfig] = None,
     config: Optional[Dict[str, Any]] = None,
     matcher: Optional[BugMatcherFn] = None,
     extended_factor: float = EXTENDED_FACTOR,
-    # deprecated loose kwargs (one release): fold into CampaignConfig
-    seed: Optional[int] = None,
-    wait: Optional[float] = None,
-    random_fallback: Optional[bool] = None,
-    classify_timeouts: Optional[bool] = None,
 ) -> InjectionOutcome:
     """Test one dynamic crash point (optionally re-running flagged hangs)."""
-    cfg = _coerce_campaign(campaign, {
-        "seed": seed, "wait": wait, "random_fallback": random_fallback,
-        "classify_timeouts": classify_timeouts,
-    }, "run_one_injection")
+    cfg = _coerce_campaign(campaign, "run_one_injection")
     wall0 = _wallclock.perf_counter()
     report, trigger, center = _drive(
         system, analysis, dpoint, cfg.seed, config, cfg.wait,
@@ -361,16 +349,11 @@ def run_campaign(
     system: SystemUnderTest,
     analysis: AnalysisReport,
     dynamic_points: List[DynamicCrashPoint],
-    campaign: Optional[Union[CampaignConfig, int]] = None,
+    campaign: Optional[CampaignConfig] = None,
     config: Optional[Dict[str, Any]] = None,
     baseline: Optional[Baseline] = None,
     matcher: Optional[BugMatcherFn] = None,
     obs: Optional[Observability] = None,
-    # deprecated loose kwargs (one release): fold into CampaignConfig
-    seed: Optional[int] = None,
-    wait: Optional[float] = None,
-    random_fallback: Optional[bool] = None,
-    classify_timeouts: Optional[bool] = None,
 ) -> CampaignResult:
     """Exercise every dynamic crash point, one run each (Figure 4).
 
@@ -392,10 +375,7 @@ def run_campaign(
     # imported lazily: the executor module imports this one
     from repro.core.injection.executor import execute_points
 
-    cfg = _coerce_campaign(campaign, {
-        "seed": seed, "wait": wait, "random_fallback": random_fallback,
-        "classify_timeouts": classify_timeouts,
-    }, "run_campaign")
+    cfg = _coerce_campaign(campaign, "run_campaign")
     wall0 = _wallclock.perf_counter()
     active = obs if obs is not None else get_obs()
     points = list(dynamic_points)

@@ -7,6 +7,14 @@ derived from offline analysis), and maintains the store of Figure 6:
 * a HashSet of node values (values matching a configured host), and
 * a HashMap associating every other meta-info value to a node, built in
   FIFO order from co-occurrence in single log instances.
+
+The agent sits on the simulator's hottest path — it is called for every
+record of every injection run — so it early-outs on the per-agent set of
+*interesting templates* (statements with at least one meta slot) before
+touching the index or the store, and resolves the rest by template
+identity (``record.args`` are the slot values; no rendering, no regex)
+unless :func:`~repro.core.analysis.patterns.fast_lane` forces the
+paper-faithful rendered-text path.
 """
 
 from __future__ import annotations
@@ -15,23 +23,35 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.analysis.log_analysis import SlotKey
 from repro.core.analysis.meta_graph import host_in_value
-from repro.core.analysis.patterns import PatternIndex
+from repro.core.analysis.patterns import PatternIndex, fast_lane_enabled
 from repro.mtlog import LogCollector
 from repro.mtlog.records import LogRecord
 from repro.obs.context import get_obs
 
 
 class OnlineMetaStore:
-    """The custom stash: HashSet of nodes + HashMap value -> node."""
+    """The custom stash: HashSet of nodes + HashMap value -> node.
+
+    Values are normalized (whitespace-stripped) exactly once, at the
+    store's public boundary: :meth:`process` normalizes an instance's
+    values on entry, and :meth:`query` normalizes the probe it receives
+    from the trigger.  Everything held in ``node_set`` / ``value_node``
+    is therefore already normalized — no internal path re-strips.
+    """
 
     def __init__(self, hosts: Sequence[str]):
         self.hosts = list(hosts)
         self.node_set: Set[str] = set()
         self.value_node: Dict[str, str] = {}
 
+    @staticmethod
+    def normalize(value: str) -> str:
+        """The store's single normalization: strip surrounding whitespace."""
+        return value.strip()
+
     def process(self, values: Iterable[str]) -> None:
         """Process one instance's meta-info values in FIFO order."""
-        values = [v for v in (v.strip() for v in values) if v]
+        values = [v for v in (self.normalize(v) for v in values) if v]
         for value in values:
             host = host_in_value(value, self.hosts)
             if host is not None:
@@ -49,9 +69,10 @@ class OnlineMetaStore:
 
     def query(self, value: str) -> Optional[str]:
         """The host to crash for a runtime meta-info value, if known."""
-        value = value.strip()
-        if value in self.value_node:
-            return self.value_node[value]
+        value = self.normalize(value)
+        host = self.value_node.get(value)
+        if host is not None:
+            return host
         # toString() forms often embed the node id directly
         # (DatanodeInfoWithStorage[node2:9866,...]): fall back to the same
         # host filter the node set uses.
@@ -94,10 +115,23 @@ class OnlineLogAgent:
         self.records_seen = 0
         self.values_shipped = 0
         self._obs = get_obs()
+        # Precomputed early-out: the templates of statements with at least
+        # one meta slot.  A record whose template is not here can never
+        # ship a value, so the fast lane drops it after one set probe —
+        # the vast majority of records, since meta statements are a small
+        # fraction of a system's logging vocabulary.
+        meta_keys = {key for key, _slot in meta_slots}
+        self._interesting_templates: Set[str] = {
+            pattern.template
+            for pattern in index.patterns
+            if pattern.statement.key() in meta_keys
+        }
 
     def __call__(self, record: LogRecord) -> None:
         self.records_seen += 1
-        hit = self.index.match(record.message)
+        if fast_lane_enabled() and record.template not in self._interesting_templates:
+            return
+        hit = self.index.match_record(record)
         if hit is None:
             return
         pattern, values = hit

@@ -9,15 +9,15 @@ stats (Table 12), times (Table 11), flagged outcomes and attributed bugs
 
 The campaign phase is configured by one frozen
 :class:`~repro.core.injection.CampaignConfig` (workers, journal, seed,
-oracle knobs); the pre-CampaignConfig loose kwargs remain as deprecation
-shims for one release.
+oracle knobs); the pre-CampaignConfig loose kwargs and their one-release
+deprecation shims are gone — passing them is a TypeError.
 """
 
 from __future__ import annotations
 
 import time as _wallclock
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional
 
 from repro.bugs import matcher_for_system
 from repro.core.analysis import AnalysisReport, analyze_system
@@ -96,17 +96,11 @@ class CrashTunerResult:
 
 def crashtuner(
     system: SystemUnderTest,
-    campaign: Optional[Union[CampaignConfig, int]] = None,
+    campaign: Optional[CampaignConfig] = None,
     config: Optional[Dict[str, Any]] = None,
     baseline: Optional[Baseline] = None,
     run_injection: bool = True,
     obs: Optional[Observability] = None,
-    # deprecated loose kwargs (one release): fold into CampaignConfig
-    seed: Optional[int] = None,
-    wait: Optional[float] = None,
-    random_fallback: Optional[bool] = None,
-    classify_timeouts: Optional[bool] = None,
-    max_points: Optional[int] = None,
 ) -> CrashTunerResult:
     """Run CrashTuner end-to-end over one system.
 
@@ -119,10 +113,7 @@ def crashtuner(
             the result carries its metrics snapshot and the campaign
             collects one diagnosis per tested point into ``obs.diagnoses``.
     """
-    cfg = _coerce_campaign(campaign, {
-        "seed": seed, "wait": wait, "random_fallback": random_fallback,
-        "classify_timeouts": classify_timeouts, "max_points": max_points,
-    }, "crashtuner")
+    cfg = _coerce_campaign(campaign, "crashtuner")
     wall0 = _wallclock.perf_counter()
     active = obs if obs is not None else NULL_OBS
     with active:

@@ -78,7 +78,10 @@ class LogCollector:
         del self.subscriber_errors[checkpoint["errors"]:]
 
     # ------------------------------------------------------------------
-    # query helpers used by oracles and tests
+    # query helpers used by oracles and tests.  Records render their
+    # message lazily (see LogRecord): these text-side helpers are the
+    # places that force rendering, which is fine off the hot path —
+    # the per-record cache means each record formats at most once.
     # ------------------------------------------------------------------
     def errors(self) -> List[LogRecord]:
         """All records at level error or fatal."""

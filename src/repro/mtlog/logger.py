@@ -12,38 +12,35 @@ needs the values (to map meta-info to nodes).
 
 Loggers are module-level singletons, like ``static final Logger LOG`` in
 Java; the emitting *node* is read from the ambient runtime context.
+
+Emit-path cost model: every simulated run logs thousands of records, so
+``_emit`` avoids per-call work that only ever produces per-callsite
+constants.  The ``(module, lineno)`` location is resolved once per call
+site and memoized keyed on ``(code object, instruction offset)`` — the
+pair that uniquely identifies a call site without computing ``f_lineno``
+(which CPython derives from the line table on every access) or touching
+``f_globals``.  Rendering is deferred entirely: the record is created
+with a lazy message (see :class:`~repro.mtlog.records.LogRecord`).
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import runtime
-from repro.mtlog.records import LEVELS, LogRecord
+from repro.mtlog.records import LEVELS, LogRecord, render
 
 _REGISTRY: Dict[str, "Logger"] = {}
 
-
-def render(template: str, args: tuple) -> str:
-    """Substitute ``{}`` placeholders left-to-right, SLF4J style.
-
-    Extra placeholders render as ``{}``; extra args are appended — both are
-    logging bugs in the system under test, not reasons to fail a run.
-    """
-    parts = template.split("{}")
-    out = []
-    for i, part in enumerate(parts):
-        out.append(part)
-        if i < len(parts) - 1:
-            out.append(args[i] if i < len(args) else "{}")
-    if len(args) > len(parts) - 1:
-        out.append(" " + " ".join(args[len(parts) - 1:]))
-    return "".join(out)
+#: (f_code, f_lasti) -> (module, lineno); one entry per logging call site
+_LOCATION_CACHE: Dict[Tuple[object, int], Tuple[str, int]] = {}
 
 
 class Logger:
     """A named logger with the six Log4j interface methods."""
+
+    __slots__ = ("name",)
 
     def __init__(self, name: str):
         self.name = name
@@ -53,16 +50,18 @@ class Logger:
         if cluster is None:
             return  # logging outside a simulation is a no-op
         frame = sys._getframe(2)
-        location = (frame.f_globals.get("__name__", "?"), frame.f_lineno)
-        str_args = tuple(str(a) for a in args)
+        key = (frame.f_code, frame.f_lasti)
+        location = _LOCATION_CACHE.get(key)
+        if location is None:
+            location = (frame.f_globals.get("__name__", "?"), frame.f_lineno)
+            _LOCATION_CACHE[key] = location
         record = LogRecord(
-            time=runtime.current_time(),
+            time=cluster.loop.now,
             node=runtime.current_node() or "",
             component=self.name,
             level=level,
             template=template,
-            args=str_args,
-            message=render(template, str_args),
+            args=tuple(str(a) for a in args),
             location=location,
             exc=f"{type(exc).__name__}: {exc}" if exc is not None else None,
         )

@@ -96,6 +96,15 @@ class SimLoop:
         #: Observation must never schedule events or consume RNG — the
         #: determinism tests compare runs with this on and off.
         self.obs: Observability = NULL_OBS
+        # Per-kind telemetry cache for _fire: instrument handles are
+        # resolved once per (observability context, event kind) instead of
+        # formatting f"sim.events.{kind}" and walking the registry on
+        # every event.  Rebuilt whenever the installed context changes;
+        # purely derived state, so checkpoint/restore ignores it.
+        self._telemetry_obs: Optional[Observability] = None
+        self._kind_counters: Dict[str, Any] = {}
+        self._events_counter: Any = None
+        self._queue_depth_histogram: Any = None
 
     # ------------------------------------------------------------------
     # time and scheduling
@@ -305,10 +314,19 @@ class SimLoop:
         self._events_processed += 1
         obs = self.obs
         if obs.enabled:
-            metrics = obs.metrics
-            metrics.counter("sim.events_processed").inc()
-            metrics.counter(f"sim.events.{event.kind}").inc()
-            metrics.histogram("sim.queue_depth").observe(len(self._queue))
+            if obs is not self._telemetry_obs:
+                self._telemetry_obs = obs
+                self._kind_counters = {}
+                self._events_counter = obs.metrics.counter("sim.events_processed")
+                self._queue_depth_histogram = obs.metrics.histogram("sim.queue_depth")
+            kind_counter = self._kind_counters.get(event.kind)
+            if kind_counter is None:
+                kind_counter = self._kind_counters[event.kind] = (
+                    obs.metrics.counter(f"sim.events.{event.kind}")
+                )
+            self._events_counter.inc()
+            kind_counter.inc()
+            self._queue_depth_histogram.observe(len(self._queue))
         self._in_handler += 1
         try:
             event.callback()

@@ -149,27 +149,28 @@ def test_journal_refuses_mismatched_campaign(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# deprecation shims: the loose kwargs still work, once, with a warning
+# the PR-2 deprecation shims are gone: old loose kwargs are a TypeError
 # ----------------------------------------------------------------------
 
-def test_legacy_kwargs_warn_and_match_campaign_config():
+def test_legacy_kwargs_raise_type_error():
     system, analysis, profile, baseline = prepared("yarn")
     points = profile.dynamic_points[:4]
-    new = run_campaign(system, analysis, points, baseline=baseline,
-                       campaign=CampaignConfig(classify_timeouts=False),
-                       matcher=matcher_for_system("yarn"))
-    with pytest.warns(DeprecationWarning, match="classify_timeouts"):
-        old = run_campaign(system, analysis, points, baseline=baseline,
-                           classify_timeouts=False,
-                           matcher=matcher_for_system("yarn"))
-    assert _outcome_dicts(old) == _outcome_dicts(new)
+    with pytest.raises(TypeError):
+        run_campaign(system, analysis, points, baseline=baseline,
+                     classify_timeouts=False,
+                     matcher=matcher_for_system("yarn"))
+    with pytest.raises(TypeError):
+        run_campaign(system, analysis, points, baseline=baseline,
+                     seed=1, matcher=matcher_for_system("yarn"))
+    from repro.core.injection import run_one_injection
+    with pytest.raises(TypeError):
+        run_one_injection(system, analysis, points[0], baseline, wait=2.0)
 
 
-def test_legacy_positional_seed_warns():
+def test_legacy_positional_seed_raises_type_error():
     from repro import crashtuner, get_system
-    with pytest.warns(DeprecationWarning, match="seed"):
-        result = crashtuner(get_system("cassandra"), 0, run_injection=False)
-    assert result.campaign is None
+    with pytest.raises(TypeError, match="CampaignConfig"):
+        crashtuner(get_system("cassandra"), 0, run_injection=False)
 
 
 def test_campaign_config_is_frozen_and_replaceable():
