@@ -1,0 +1,100 @@
+"""Cold vs incremental analysis-engine timings.
+
+Measures, per system, the cold engine run (every module extracted twice —
+baseline and augmented lanes), the fully warm re-run (everything served
+from the per-module cache), and an incremental run after touching exactly
+one module (that module plus its call-graph dependents re-extract).  The
+numbers land in ``benchmarks/out/BENCH_analysis.json``; CI's smoke job
+uploads the file as a build artifact.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import OUT_DIR
+from repro.core.analysis import (
+    AnalysisEngine,
+    analysis_modules,
+    analyze_system,
+    find_logging_statements,
+)
+from repro.core.analysis.engine import module_hash
+from repro.systems import get_system
+
+BENCH_SYSTEMS = ["yarn", "hbase"]
+
+
+def _touched(src):
+    """A copy of one ModuleSource with a content-only edit (new hash)."""
+    from repro.core.analysis.logging_statements import ModuleSource
+
+    return ModuleSource(module=src.module, name=src.name,
+                        source=src.source + "\n# touched\n", tree=src.tree)
+
+
+def measure(system_name):
+    report = analyze_system(get_system(system_name), engine=False)
+    sources, statements, logs = report.sources, report.statements, report.log_result
+
+    engine = AnalysisEngine()
+    t0 = time.perf_counter()
+    cold = engine.analyze(sources, statements, logs)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = engine.analyze(sources, statements, logs)
+    warm_s = time.perf_counter() - t0
+
+    # touch the first module and re-analyse: only it + dependents re-run
+    edited = [_touched(sources[0])] + list(sources[1:])
+    t0 = time.perf_counter()
+    incr = engine.analyze(edited, statements, logs)
+    incr_s = time.perf_counter() - t0
+
+    return {
+        "modules": len(sources),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "incremental_s": round(incr_s, 4),
+        "warm_reextracted": warm.stats["modules_reextracted"],
+        "incremental_reextracted": incr.stats["modules_reextracted"],
+        "fixpoint_iterations": cold.stats["fixpoint_iterations"],
+        "crash_points": len(cold.crash.crash_points),
+        "inter_crash_points": cold.stats["inter_crash_points"],
+    }
+
+
+def test_analysis_engine_timings(benchmark, table_out):
+    data = benchmark(lambda: {name: measure(name) for name in BENCH_SYSTEMS})
+
+    for name, row in data.items():
+        # a warm run extracts nothing; the incremental run only re-runs
+        # the touched module's dependency closure, never everything
+        assert row["warm_reextracted"] == 0
+        assert 1 <= row["incremental_reextracted"] <= row["modules"]
+        # warm skips every extraction; generous factor absorbs timer noise
+        assert row["warm_s"] <= row["cold_s"] * 1.5
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_analysis.json").write_text(
+        json.dumps(data, indent=2) + "\n"
+    )
+    lines = ["Analysis engine: cold vs warm vs incremental (seconds)"]
+    for name, row in data.items():
+        lines.append(
+            f"  {name}: cold={row['cold_s']}s warm={row['warm_s']}s "
+            f"incremental={row['incremental_s']}s "
+            f"(re-extracted {row['incremental_reextracted']}/{row['modules']}, "
+            f"{row['inter_crash_points']} inter points)"
+        )
+    table_out("\n".join(lines))
+
+
+def test_module_hash_is_content_keyed():
+    sources = analysis_modules(get_system("yarn"))
+    src = sources[0]
+    assert module_hash(src) == module_hash(src)
+    assert module_hash(_touched(src)) != module_hash(src)
+    # statements are irrelevant to the key, only source bytes matter
+    find_logging_statements([src])
+    assert module_hash(src) == module_hash(sources[0])

@@ -22,6 +22,7 @@ def test_table11_times(benchmark, table_out):
         t, points = data[name]
         rows.append([
             name,
+            t["analysis_mode"],
             f"{t['analysis_wall_s']:.2f}s",
             f"{t['profile_wall_s']:.2f}s",
             f"{t['test_wall_s']:.2f}s",
@@ -40,7 +41,7 @@ def test_table11_times(benchmark, table_out):
     assert max(points, key=points.get) == "yarn"
     assert sim["yarn"] > sim["zookeeper"]
     table_out(format_table(
-        ["System", "Analysis (wall)", "Profile (wall)", "Test (wall)",
+        ["System", "Engine", "Analysis (wall)", "Profile (wall)", "Test (wall)",
          "Test (sim)", "Dynamic CPs", "Workers", "Speedup", "Execution"], rows,
         title="Table 11: analysis and testing times",
     ))

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import time as _wallclock
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Union
 
+from repro.core.analysis.engine import AnalysisEngine, EngineResult
 from repro.core.analysis.log_analysis import LogAnalysisResult, analyze_logs
 from repro.core.analysis.logging_statements import (
     LogStatement,
@@ -27,6 +28,7 @@ from repro.core.analysis.patterns import (
     fast_lane_enabled,
     pattern_for,
 )
+from repro.core.analysis.provenance import Provenance, point_key
 from repro.core.analysis.static_points import (
     AccessPoint,
     CrashPointResult,
@@ -39,6 +41,7 @@ from repro.core.analysis.static_points import (
     extract_access_points,
     infer_meta_info,
 )
+from repro.core.analysis.summaries import SummaryTable, compute_summaries
 from repro.core.analysis.types import TypeModel, TypeRef
 from repro.systems.base import RunReport, SystemUnderTest, run_workload
 
@@ -76,6 +79,12 @@ class AnalysisReport:
     hosts: List[str]
     #: wall-clock seconds: {"run": .., "log_analysis": .., "static": ..}
     timings: Dict[str, float] = field(default_factory=dict)
+    #: present when the interprocedural engine produced this report
+    engine: Optional[EngineResult] = None
+
+    @property
+    def engine_used(self) -> bool:
+        return self.engine is not None
 
     # Table 10 helpers ------------------------------------------------------
     def totals(self) -> Dict[str, int]:
@@ -90,13 +99,34 @@ class AnalysisReport:
         }
 
 
+#: process-wide default engines, so repeated analyses of the same system
+#: (same patched switchboard) hit the incremental cache
+_DEFAULT_ENGINES: Dict[str, AnalysisEngine] = {}
+
+
+def default_engine(system_name: str) -> AnalysisEngine:
+    """The shared per-system engine instance (created on first use)."""
+    if system_name not in _DEFAULT_ENGINES:
+        _DEFAULT_ENGINES[system_name] = AnalysisEngine()
+    return _DEFAULT_ENGINES[system_name]
+
+
 def analyze_system(
     system: SystemUnderTest,
     seed: int = 0,
     config: Optional[Dict[str, Any]] = None,
     scale: int = 1,
+    engine: Union[bool, AnalysisEngine] = True,
 ) -> AnalysisReport:
-    """Run phase 1's analyses (Figure 4, top) for one system."""
+    """Run phase 1's analyses (Figure 4, top) for one system.
+
+    ``engine`` selects the analysis path: ``True`` (default) uses the
+    shared interprocedural :class:`AnalysisEngine` for this system (with
+    provenance and incremental caching), an explicit engine instance uses
+    that instance, and ``False`` forces the original single-shot
+    intraprocedural path.  Engine-on output is a strict superset of
+    engine-off output; the extras carry ``lane == "inter"``.
+    """
     t0 = _wallclock.perf_counter()
     report = run_workload(system, seed=seed, config=config, scale=scale)
     t_run = _wallclock.perf_counter() - t0
@@ -116,10 +146,19 @@ def analyze_system(
         if (config or {}).get("patched_bugs") != "all"
         else ("all",)
     )
-    model = TypeModel.build(sources)
-    extraction = extract_access_points(model, sources, patched=patched)
-    meta = infer_meta_info(model, log_result, statements, extraction)
-    crash = compute_crash_points(model, extraction, meta)
+    engine_result: Optional[EngineResult] = None
+    if engine:
+        driver = engine if isinstance(engine, AnalysisEngine) else default_engine(system.name)
+        engine_result = driver.analyze(sources, statements, log_result, patched=patched)
+        model = engine_result.model
+        extraction = engine_result.extraction
+        meta = engine_result.meta
+        crash = engine_result.crash
+    else:
+        model = TypeModel.build(sources)
+        extraction = extract_access_points(model, sources, patched=patched)
+        meta = infer_meta_info(model, log_result, statements, extraction)
+        crash = compute_crash_points(model, extraction, meta)
     t_static = _wallclock.perf_counter() - t0
 
     return AnalysisReport(
@@ -134,13 +173,16 @@ def analyze_system(
         crash=crash,
         hosts=hosts,
         timings={"run": t_run, "log_analysis": t_log, "static": t_static},
+        engine=engine_result,
     )
 
 
 __all__ = [
     "AccessPoint",
+    "AnalysisEngine",
     "AnalysisReport",
     "CrashPointResult",
+    "EngineResult",
     "ExtractionResult",
     "LogAnalysisResult",
     "LogPattern",
@@ -149,7 +191,9 @@ __all__ = [
     "MetaInfoTypes",
     "ModuleSource",
     "PatternIndex",
+    "Provenance",
     "READ_KEYWORDS",
+    "SummaryTable",
     "TypeModel",
     "TypeRef",
     "WRITE_KEYWORDS",
@@ -159,10 +203,13 @@ __all__ = [
     "cluster_hosts",
     "collection_op_kind",
     "compute_crash_points",
+    "compute_summaries",
+    "default_engine",
     "extract_access_points",
     "find_logging_statements",
     "host_in_value",
     "infer_meta_info",
     "load_sources",
     "pattern_for",
+    "point_key",
 ]

@@ -1,0 +1,134 @@
+"""Per-system call graph with receiver-type dispatch (engine part 2).
+
+Nodes are ``(class, method)`` pairs; an edge is recorded from a caller to
+every method its call sites can statically dispatch to: the method found
+on the receiver's declared (or summary-inferred) type plus every subtype
+override, mirroring how the paper's WALA-based analysis resolves virtual
+calls over the class hierarchy.  Constructor calls (``C(...)`` with ``C``
+a known class) edge to ``C.__init__``.
+
+The incremental cache consumes the *module projection*: which modules
+must be re-extracted when one module's source changes.  Type facts flow
+both ways along call edges — return types callee→caller, argument types
+caller→callee — so dependency closure is computed over the undirected
+call relation, plus subtype edges (a class's extraction depends on the
+modules its bases are defined in).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.analysis.summaries import SummaryTable, _dispatch_targets
+from repro.core.analysis.types import ExprTyper, TypeModel
+
+MethodKey = Tuple[str, str]  # (class name, method name)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    caller: MethodKey
+    callee: MethodKey
+    module: str
+    lineno: int
+
+
+@dataclass
+class CallGraph:
+    """Dispatch-resolved call edges plus their module projection."""
+
+    edges: List[CallEdge] = field(default_factory=list)
+    callees: Dict[MethodKey, Set[MethodKey]] = field(default_factory=dict)
+    callers: Dict[MethodKey, Set[MethodKey]] = field(default_factory=dict)
+    #: class name -> defining module
+    module_of_class: Dict[str, str] = field(default_factory=dict)
+    #: module -> modules it shares call or subtype edges with (undirected)
+    module_neighbours: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, model: TypeModel, summaries: Optional[SummaryTable] = None) -> "CallGraph":
+        graph = cls()
+        for info in model.classes.values():
+            graph.module_of_class[info.name] = info.module
+        for info in model.classes.values():
+            for method in info.methods.values():
+                caller: MethodKey = (info.name, method.name)
+                typer = ExprTyper(model, info, method, summaries=summaries)
+                for sub in ast.walk(method.node):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    graph._add_call(model, typer, caller, info.module, sub)
+        graph._project_modules(model)
+        return graph
+
+    def _add_call(
+        self,
+        model: TypeModel,
+        typer: ExprTyper,
+        caller: MethodKey,
+        module: str,
+        call: ast.Call,
+    ) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in model.classes and "__init__" in model.classes[func.id].methods:
+                self._edge(caller, (func.id, "__init__"), module, call.lineno)
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = typer.type_of(func.value)
+        if receiver is None or receiver.name not in model.classes:
+            return
+        for target in _dispatch_targets(model, receiver.name, func.attr):
+            self._edge(caller, (target.owner, target.name), module, call.lineno)
+
+    def _edge(self, caller: MethodKey, callee: MethodKey, module: str, lineno: int) -> None:
+        if callee in self.callees.setdefault(caller, set()):
+            return
+        self.callees[caller].add(callee)
+        self.callers.setdefault(callee, set()).add(caller)
+        self.edges.append(CallEdge(caller=caller, callee=callee, module=module, lineno=lineno))
+
+    def _project_modules(self, model: TypeModel) -> None:
+        def connect(a: Optional[str], b: Optional[str]) -> None:
+            if a is None or b is None or a == b:
+                return
+            self.module_neighbours.setdefault(a, set()).add(b)
+            self.module_neighbours.setdefault(b, set()).add(a)
+
+        for edge in self.edges:
+            connect(
+                self.module_of_class.get(edge.caller[0]),
+                self.module_of_class.get(edge.callee[0]),
+            )
+        for info in model.classes.values():
+            for base in info.bases:
+                connect(info.module, self.module_of_class.get(base))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def module_dependents(self, changed: Set[str]) -> Set[str]:
+        """Modules whose extraction is stale when ``changed`` modules are
+        edited: the changed modules plus everything transitively reachable
+        over call/subtype edges (types flow both directions)."""
+        out: Set[str] = set(changed)
+        frontier: List[str] = list(changed)
+        while frontier:
+            module = frontier.pop()
+            for neighbour in self.module_neighbours.get(module, ()):
+                if neighbour not in out:
+                    out.add(neighbour)
+                    frontier.append(neighbour)
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "methods": len(set(self.callees) | set(self.callers)),
+            "edges": len(self.edges),
+        }

@@ -1,0 +1,281 @@
+"""The interprocedural analysis engine (tentpole of the analysis PR).
+
+Wraps the paper-faithful single-shot analysis in three capabilities:
+
+1. **Interprocedural typing** — a call graph with receiver-type dispatch
+   plus a method-summary fixpoint (return inference bottom-up, argument
+   propagation top-down, element typing for loop targets).  The summaries
+   feed :class:`~repro.core.analysis.types.ExprTyper` so field accesses in
+   unannotated helper code become visible.
+2. **Provenance** — every meta-info conclusion and crash point records why
+   it holds, as a graph whose roots are seed logging statements; rendered
+   by ``python -m repro.core.analysis report``.
+3. **Incremental caching** — per-module extraction results keyed on the
+   sha256 of the module source; re-analysis after editing one module only
+   re-extracts that module plus its call-graph dependents.
+
+Superset guarantee
+------------------
+
+Summary-augmented typing is *not* monotone for the meta-info closure: a
+newly visible external write can disqualify a containing class.  The
+engine therefore runs **two** passes — a *baseline* pass byte-identical to
+the engine-off path, and an *augmented* pass with summaries enabled — and
+merges them: final crash points are the baseline's (lane ``"intra"``) plus
+the augmented-only extras (lane ``"inter"``).  Pruning statistics are the
+baseline's, so Table 12 is unchanged by construction, and engine-on output
+is a strict superset of engine-off output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.analysis.callgraph import CallGraph
+from repro.core.analysis.log_analysis import LogAnalysisResult
+from repro.core.analysis.logging_statements import LogStatement, ModuleSource
+from repro.core.analysis.provenance import Provenance, point_key
+from repro.core.analysis.static_points import (
+    AccessPoint,
+    CrashPointResult,
+    ExtractionResult,
+    MetaInfoTypes,
+    ModuleExtraction,
+    compute_crash_points,
+    extract_module_points,
+    infer_meta_info,
+    merge_extractions,
+)
+from repro.core.analysis.summaries import SummaryTable, compute_summaries
+from repro.core.analysis.types import TypeModel
+from repro.obs import get_obs
+
+
+def module_hash(src: ModuleSource) -> str:
+    """Cache key of one module: the content hash of its source."""
+    return hashlib.sha256(src.source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class EngineResult:
+    """Everything one :meth:`AnalysisEngine.analyze` run produced."""
+
+    model: TypeModel
+    #: merged extraction: baseline points plus augmented-only extras
+    extraction: ExtractionResult
+    #: the baseline (engine-off-equivalent) meta-info universe
+    meta: MetaInfoTypes
+    #: merged crash points — baseline lane "intra" plus extras lane
+    #: "inter"; pruning statistics are the baseline's
+    crash: CrashPointResult
+    provenance: Provenance
+    summaries: SummaryTable
+    callgraph: CallGraph
+    #: plain-dict metrics (modules_reextracted, fixpoint_iterations, ...)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def inter_points(self) -> List[AccessPoint]:
+        return [p for p in self.crash.crash_points if p.lane == "inter"]
+
+
+class AnalysisEngine:
+    """Stateful analysis driver with a per-module extraction cache.
+
+    One engine instance is meant to live as long as its system's sources
+    may be re-analysed; :meth:`analyze` is idempotent and cheap when
+    nothing changed.  The cache is keyed on the ``patched`` switchboard —
+    a different patched set flushes it (usage flags depend on it).
+    """
+
+    def __init__(self) -> None:
+        self._patched: Optional[FrozenSet[str]] = None
+        #: module name -> (source hash, baseline extraction)
+        self._baseline: Dict[str, Tuple[str, ModuleExtraction]] = {}
+        #: module name -> (source hash, summary-augmented extraction)
+        self._augmented: Dict[str, Tuple[str, ModuleExtraction]] = {}
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        sources: Sequence[ModuleSource],
+        statements: Sequence[LogStatement],
+        log_result: LogAnalysisResult,
+        patched: FrozenSet[str] = frozenset(),
+    ) -> EngineResult:
+        obs = get_obs()
+        with obs.tracer.span("analysis.engine", modules=len(sources)):
+            if patched != self._patched:
+                self._baseline.clear()
+                self._augmented.clear()
+                self._patched = patched
+
+            with obs.tracer.span("analysis.engine.model"):
+                model = TypeModel.build(sources)
+            with obs.tracer.span("analysis.engine.fixpoint"):
+                summaries, iterations = compute_summaries(model)
+            with obs.tracer.span("analysis.engine.callgraph"):
+                graph = CallGraph.build(model, summaries=summaries)
+
+            hashes = {src.name: module_hash(src) for src in sources}
+            for name in list(self._baseline):
+                if name not in hashes:
+                    del self._baseline[name]
+                    self._augmented.pop(name, None)
+            changed = {
+                name for name, digest in hashes.items()
+                if self._baseline.get(name, ("", None))[0] != digest
+            }
+            stale = graph.module_dependents(changed) & set(hashes)
+
+            reextracted = 0
+            baseline_parts: List[ModuleExtraction] = []
+            augmented_parts: List[ModuleExtraction] = []
+            with obs.tracer.span("analysis.engine.extract",
+                                 changed=len(changed), stale=len(stale)):
+                for src in sources:
+                    if src.name in stale:
+                        self._baseline[src.name] = (
+                            hashes[src.name],
+                            extract_module_points(model, src, patched),
+                        )
+                        self._augmented[src.name] = (
+                            hashes[src.name],
+                            extract_module_points(model, src, patched,
+                                                  summaries=summaries),
+                        )
+                        reextracted += 1
+                    baseline_parts.append(self._baseline[src.name][1])
+                    augmented_parts.append(self._augmented[src.name][1])
+            base_ext = merge_extractions(baseline_parts)
+            aug_ext = merge_extractions(augmented_parts)
+
+            provenance = Provenance()
+            with obs.tracer.span("analysis.engine.infer"):
+                base_meta = infer_meta_info(
+                    model, log_result, statements, base_ext,
+                    provenance=provenance,
+                )
+                base_crash = compute_crash_points(model, base_ext, base_meta)
+                aug_meta = infer_meta_info(
+                    model, log_result, statements, aug_ext,
+                    summaries=summaries, provenance=provenance,
+                )
+                aug_crash = compute_crash_points(model, aug_ext, aug_meta)
+
+            crash, extraction = _merge(base_ext, base_crash, aug_crash)
+            _record_point_provenance(
+                provenance, crash.crash_points, summaries, augmented_parts
+            )
+
+            returns, params = summaries.counts()
+            stats: Dict[str, Any] = {
+                "modules_total": len(sources),
+                "modules_changed": len(changed),
+                "modules_reextracted": reextracted,
+                "modules_cached": len(sources) - reextracted,
+                "fixpoint_iterations": iterations,
+                "summary_returns": returns,
+                "summary_params": params,
+                **{f"callgraph_{k}": v for k, v in graph.stats().items()},
+                "baseline_crash_points": len(base_crash.crash_points),
+                "inter_crash_points": sum(
+                    1 for p in crash.crash_points if p.lane == "inter"
+                ),
+            }
+            obs.metrics.counter("analysis.engine.runs").inc()
+            obs.metrics.counter("analysis.engine.modules_reextracted").inc(reextracted)
+            obs.metrics.counter("analysis.engine.modules_cached").inc(
+                len(sources) - reextracted
+            )
+            obs.metrics.counter("analysis.engine.inter_points").inc(
+                stats["inter_crash_points"]
+            )
+
+        return EngineResult(
+            model=model,
+            extraction=extraction,
+            meta=base_meta,
+            crash=crash,
+            provenance=provenance,
+            summaries=summaries,
+            callgraph=graph,
+            stats=stats,
+        )
+
+
+def _merge(
+    base_ext: ExtractionResult,
+    base_crash: CrashPointResult,
+    aug_crash: CrashPointResult,
+) -> Tuple[CrashPointResult, ExtractionResult]:
+    """Baseline ∪ augmented-extras, with the extras tagged lane="inter"."""
+    base_keys = {point_key(p) for p in base_crash.crash_points}
+    extras = sorted(
+        (replace(p, lane="inter") for p in aug_crash.crash_points
+         if point_key(p) not in base_keys),
+        key=lambda p: (p.module, p.lineno, p.op),
+    )
+    base_meta_keys = {point_key(p) for p in base_crash.meta_access_points}
+    meta_extras = [
+        replace(p, lane="inter") for p in aug_crash.meta_access_points
+        if point_key(p) not in base_meta_keys
+    ]
+    crash = CrashPointResult(
+        crash_points=base_crash.crash_points + extras,
+        meta_access_points=base_crash.meta_access_points + meta_extras,
+        pruned_constructor=base_crash.pruned_constructor,
+        pruned_unused=base_crash.pruned_unused,
+        pruned_sanity=base_crash.pruned_sanity,
+        promoted=base_crash.promoted,
+    )
+    extraction = ExtractionResult(
+        points=base_ext.points + meta_extras,
+        call_sites=base_ext.call_sites,
+        external_writes=base_ext.external_writes,
+    )
+    return crash, extraction
+
+
+def _record_point_provenance(
+    provenance: Provenance,
+    crash_points: Sequence[AccessPoint],
+    summaries: SummaryTable,
+    augmented_parts: Sequence[ModuleExtraction],
+) -> None:
+    """Hang every crash point off its meta-info field (and, for inter
+    points, off the summary facts that made the receiver typeable)."""
+    used_facts: Dict[Tuple[str, str], FrozenSet] = {}
+    for part in augmented_parts:
+        for enclosing, facts in part.used_facts.items():
+            used_facts[(part.module, enclosing)] = facts
+
+    for point in crash_points:
+        pkey = provenance.node(
+            point_key(point), f"crash point: {point.describe()}"
+        )
+        fkey = ("field", point.field_cls.rsplit(".", 1)[-1], point.field_name)
+        provenance.edge(pkey, fkey, "access to a meta-info field survives pruning")
+        if point.promoted_from is not None:
+            origin = ("point", point.promoted_from[0], point.promoted_from[1],
+                      point.op, point.via, point.field_cls, point.field_name)
+            provenance.node(
+                origin,
+                f"return-only read of {point.field_cls.rsplit('.', 1)[-1]}."
+                f"{point.field_name} at "
+                f"{point.promoted_from[0]}:{point.promoted_from[1]}",
+            )
+            provenance.edge(pkey, origin,
+                            "promoted from a return-only read to this call site")
+            provenance.edge(origin, fkey, "access to a meta-info field")
+        if point.lane != "inter":
+            continue
+        for fact in sorted(used_facts.get((point.module, point.enclosing), ())):
+            skey = provenance.node(
+                ("summary",) + tuple(fact), summaries.describe_fact(fact)
+            )
+            provenance.edge(
+                pkey, skey, "receiver typeable only via an inferred summary"
+            )

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.analysis.log_analysis import LogAnalysisResult
 from repro.core.analysis.logging_statements import LogStatement, ModuleSource
+from repro.core.analysis.provenance import Provenance, describe_stmt
 from repro.core.analysis.types import (
     BASE_TYPE_NAMES,
     ClassInfo,
@@ -92,6 +93,10 @@ class AccessPoint:
     return_only: bool = False
     #: for promoted points: the location of the original in-method read
     promoted_from: Optional[Tuple[str, int]] = None
+    #: discovery lane: "intra" (the paper-faithful single-shot pass) or
+    #: "inter" (only reachable through the engine's method summaries);
+    #: excluded from equality so lane tagging never perturbs dedup
+    lane: str = field(default="intra", compare=False)
 
     @property
     def location(self) -> Tuple[str, int]:
@@ -103,8 +108,9 @@ class AccessPoint:
 
     def describe(self) -> str:
         star = "*" if self.promoted else ""
+        tag = " [inter]" if self.lane == "inter" else ""
         return (f"{self.op}{star} {self.field_cls.rsplit('.', 1)[-1]}.{self.field_name} "
-                f"via {self.via} at {self.module}:{self.lineno}")
+                f"via {self.via} at {self.module}:{self.lineno}{tag}")
 
 
 class _ParentMap:
@@ -145,18 +151,21 @@ class _MethodExtractor:
         cls: Optional[ClassInfo],
         method: MethodInfo,
         patched: FrozenSet[str],
+        summaries: Optional[Any] = None,
     ):
         self.model = model
         self.module = module
         self.cls = cls
         self.method = method
         self.patched = patched
-        self.typer = ExprTyper(model, cls, method)
+        self.typer = ExprTyper(model, cls, method, summaries=summaries)
         self.parents = _ParentMap(method.node)
         self.points: List[AccessPoint] = []
         #: method-call sites inside this body, for promotion pass 2:
         #: (callee name, receiver type name, call node, usage flags)
         self.calls: List[Tuple[str, Optional[str], ast.Call, Tuple[bool, bool, bool]]] = []
+        #: lazy name -> Load-context uses index (one walk per method)
+        self._loads_index: Optional[Dict[str, List[ast.Name]]] = None
 
     # -- field resolution ------------------------------------------------
     def _field_of(self, node: ast.Attribute):
@@ -229,7 +238,18 @@ class _MethodExtractor:
             return  # collection fields are accessed through their ops
         owner = self.model.classes.get(field_info.owner)
         field_cls = f"{owner.module}.{owner.name}" if owner else field_info.owner
-        if isinstance(node.ctx, ast.Store):
+        if isinstance(parent, ast.AugAssign) and parent.target is node:
+            # `self.count += 1` both reads and writes the field: emit a
+            # classified read alongside the putfield
+            read = AccessPoint(
+                module=self.module, lineno=node.lineno,
+                field_cls=field_cls, field_name=field_info.name,
+                op="read", via="getfield",
+                enclosing=f"{self.cls.name if self.cls else '?'}.{self.method.name}",
+            )
+            self.points.append(self._classify_read(read, node))
+            op, via = "write", "putfield"
+        elif isinstance(node.ctx, ast.Store):
             op, via = "write", "putfield"
         elif isinstance(node.ctx, ast.Load):
             op, via = "read", "getfield"
@@ -306,12 +326,20 @@ class _MethodExtractor:
                     return False
         return True
 
+    def _name_loads(self) -> Dict[str, List[ast.Name]]:
+        """Load-context ``Name`` uses indexed by identifier, built once per
+        method (classifying each local used to re-walk the whole body)."""
+        if self._loads_index is None:
+            index: Dict[str, List[ast.Name]] = {}
+            for sub in ast.walk(self.method.node):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    index.setdefault(sub.id, []).append(sub)
+            self._loads_index = index
+        return self._loads_index
+
     def _classify_local(self, name: str, assign: ast.stmt) -> Tuple[bool, bool, bool]:
         """Classify uses of a local holding the read value."""
-        uses: List[ast.Name] = []
-        for sub in ast.walk(self.method.node):
-            if isinstance(sub, ast.Name) and sub.id == name and isinstance(sub.ctx, ast.Load):
-                uses.append(sub)
+        uses = self._name_loads().get(name, [])
         real_uses = 0
         checked = False
         returns = 0
@@ -358,36 +386,82 @@ class _MethodExtractor:
 # ---------------------------------------------------------------------------
 @dataclass
 class ExtractionResult:
+    """Merged extraction output across every analysed module.
+
+    ``call_sites`` maps ``(receiver class name, method name)`` to the call
+    sites that statically dispatch there, each recorded as
+    ``(module, lineno, "Class.method" enclosing, usage flags)`` where the
+    flags are the ``(unused, sanity_checked, return_only)`` classification
+    of the call *result* — return-only promotion reuses them to prune
+    promoted points at their destination.  ``external_writes`` holds
+    ``(field_cls, field_name)`` pairs written outside their owning class,
+    which disqualifies the field from the constructor-only rule.
+    """
+
     points: List[AccessPoint]
-    #: call sites per (receiver class, method name):
-    #: (module, lineno, enclosing, (unused, sanity_checked, return_only))
     call_sites: Dict[Tuple[str, str], List[Tuple[str, int, str, Tuple[bool, bool, bool]]]]
-    #: per-field external writes (for the constructor-only rule)
     external_writes: Set[Tuple[str, str]]
 
 
-def extract_access_points(
+@dataclass
+class ModuleExtraction:
+    """Extraction output for one module — the unit the engine caches."""
+
+    module: str
+    points: List[AccessPoint]
+    call_sites: Dict[Tuple[str, str], List[Tuple[str, int, str, Tuple[bool, bool, bool]]]]
+    #: summary facts consulted while typing each method of this module
+    #: ("Class.method" -> facts), populated only under the engine's
+    #: augmented pass; feeds the provenance of inter-lane crash points
+    used_facts: Dict[str, FrozenSet[Tuple[str, str, str, str]]] = field(default_factory=dict)
+
+
+def extract_module_points(
     model: TypeModel,
-    sources: Sequence[ModuleSource],
+    src: ModuleSource,
     patched: FrozenSet[str] = frozenset(),
-) -> ExtractionResult:
-    """All access points in the system, with usage flags."""
+    summaries: Optional[Any] = None,
+) -> ModuleExtraction:
+    """Access points, call sites, and used summary facts for one module."""
     points: List[AccessPoint] = []
-    call_sites: Dict[Tuple[str, str], List[Tuple[str, int, str]]] = {}
-    for src in sources:
-        for cls_info in model.classes.values():
-            if cls_info.module != src.name:
-                continue
-            for method in cls_info.methods.values():
-                extractor = _MethodExtractor(model, src.name, cls_info, method, patched)
-                extractor.run()
-                points.extend(extractor.points)
-                for callee, recv_type, call, flags in extractor.calls:
-                    if recv_type is None:
-                        continue
-                    call_sites.setdefault((recv_type, callee), []).append(
-                        (src.name, call.lineno, f"{cls_info.name}.{method.name}", flags)
-                    )
+    call_sites: Dict[Tuple[str, str], List[Tuple[str, int, str, Tuple[bool, bool, bool]]]] = {}
+    used_facts: Dict[str, FrozenSet[Tuple[str, str, str, str]]] = {}
+    for cls_info in model.classes.values():
+        if cls_info.module != src.name:
+            continue
+        for method in cls_info.methods.values():
+            if summaries is not None:
+                summaries.record_uses = True
+                summaries.drain_uses()
+            extractor = _MethodExtractor(
+                model, src.name, cls_info, method, patched, summaries=summaries
+            )
+            extractor.run()
+            if summaries is not None:
+                facts = frozenset(summaries.drain_uses())
+                summaries.record_uses = False
+                if facts:
+                    used_facts[f"{cls_info.name}.{method.name}"] = facts
+            points.extend(extractor.points)
+            for callee, recv_type, call, flags in extractor.calls:
+                if recv_type is None:
+                    continue
+                call_sites.setdefault((recv_type, callee), []).append(
+                    (src.name, call.lineno, f"{cls_info.name}.{method.name}", flags)
+                )
+    return ModuleExtraction(module=src.name, points=points, call_sites=call_sites,
+                            used_facts=used_facts)
+
+
+def merge_extractions(parts: Sequence[ModuleExtraction]) -> ExtractionResult:
+    """Combine per-module extractions; external writes are a whole-system
+    property, so they are recomputed over the merged point list."""
+    points: List[AccessPoint] = []
+    call_sites: Dict[Tuple[str, str], List[Tuple[str, int, str, Tuple[bool, bool, bool]]]] = {}
+    for part in parts:
+        points.extend(part.points)
+        for key, sites in part.call_sites.items():
+            call_sites.setdefault(key, []).extend(sites)
     external_writes = {
         (p.field_cls, p.field_name)
         for p in points
@@ -395,6 +469,22 @@ def extract_access_points(
     }
     return ExtractionResult(points=points, call_sites=call_sites,
                             external_writes=external_writes)
+
+
+def extract_access_points(
+    model: TypeModel,
+    sources: Sequence[ModuleSource],
+    patched: FrozenSet[str] = frozenset(),
+    summaries: Optional[Any] = None,
+) -> ExtractionResult:
+    """All access points in the system, with usage flags.
+
+    The single-shot path; the engine calls :func:`extract_module_points`
+    per module instead so unchanged modules can come from its cache.
+    """
+    return merge_extractions(
+        [extract_module_points(model, src, patched, summaries) for src in sources]
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -422,10 +512,13 @@ def infer_meta_info(
     log_result: LogAnalysisResult,
     statements: Sequence[LogStatement],
     extraction: ExtractionResult,
+    summaries: Optional[Any] = None,
+    provenance: Optional[Provenance] = None,
 ) -> MetaInfoTypes:
     by_key = {s.key(): s for s in statements}
     logged_types: Set[str] = set()
     logged_base_fields: Set[Tuple[str, str]] = set()
+    prov = provenance
 
     # 1. seed from logged meta-info variables
     for (key, slot) in sorted(log_result.meta_slots):
@@ -437,13 +530,18 @@ def infer_meta_info(
         except SyntaxError:
             continue
         cls_info, method = model.context_of(stmt.module, stmt.lineno)
-        typer = ExprTyper(model, cls_info, method)
+        typer = ExprTyper(model, cls_info, method, summaries=summaries)
         tref = typer.type_of(expr)
         if tref is None:
             continue
+        stmt_key = ("stmt", stmt.module, stmt.lineno, slot)
         for leaf in tref.leaves():
             if not leaf.is_base:
                 logged_types.add(leaf.name)
+                if prov is not None:
+                    prov.node(stmt_key, describe_stmt(stmt, slot))
+                    tkey = prov.node(("type", leaf.name), f"meta-info type {leaf.name}")
+                    prov.edge(tkey, stmt_key, "logged value is node-related (seed)")
                 continue
             # base-typed logged value: if it is a field read, the field is
             # meta-info and its containing class becomes a meta-info type
@@ -452,6 +550,14 @@ def infer_meta_info(
                 if receiver is not None and receiver.name in model.classes:
                     logged_base_fields.add((receiver.name, expr.attr))
                     logged_types.add(receiver.name)
+                    if prov is not None:
+                        prov.node(stmt_key, describe_stmt(stmt, slot))
+                        fkey = prov.node(("field", receiver.name, expr.attr),
+                                         f"meta-info field {receiver.name}.{expr.attr}")
+                        tkey = prov.node(("type", receiver.name),
+                                         f"meta-info type {receiver.name}")
+                        prov.edge(fkey, stmt_key, "logged base-typed field (seed)")
+                        prov.edge(tkey, fkey, "contains a logged base-typed field")
 
     # 2. the Definition 2 closure
     meta_types = set(logged_types) - BASE_TYPE_NAMES
@@ -464,6 +570,10 @@ def infer_meta_info(
                 if sub not in meta_types:
                     meta_types.add(sub)
                     changed = True
+                    if prov is not None:
+                        skey = prov.node(("type", sub), f"meta-info type {sub}")
+                        prov.edge(skey, ("type", name),
+                                  "subtype of a meta-info type (Definition 2)")
         # containing classes: C.f of meta type, f only set in constructors
         for cls_info in model.classes.values():
             if cls_info.name in meta_types:
@@ -479,6 +589,15 @@ def infer_meta_info(
                 if leaf_names & meta_types and not leaf_names & BASE_TYPE_NAMES:
                     meta_types.add(cls_info.name)
                     changed = True
+                    if prov is not None:
+                        witness = sorted(leaf_names & meta_types)[0]
+                        ckey = prov.node(("type", cls_info.name),
+                                         f"meta-info type {cls_info.name}")
+                        prov.edge(
+                            ckey, ("type", witness),
+                            f"constructor-only field '{field_info.name}' holds a "
+                            "meta-info type (Definition 2)",
+                        )
                     break
 
     # 3. meta-info fields: declared type mentions a meta type (collection
@@ -491,6 +610,12 @@ def infer_meta_info(
             leaf_names = {l.name for l in field_info.type.leaves()}
             if leaf_names & meta_types:
                 meta_fields.add((cls_info.name, field_info.name))
+                if prov is not None:
+                    witness = sorted(leaf_names & meta_types)[0]
+                    fkey = prov.node(("field", cls_info.name, field_info.name),
+                                     f"meta-info field {cls_info.name}.{field_info.name}")
+                    prov.edge(fkey, ("type", witness),
+                              "declared type mentions a meta-info type")
 
     return MetaInfoTypes(
         logged_types={t for t in logged_types if t in model.classes},

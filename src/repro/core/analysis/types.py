@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.analysis.logging_statements import ModuleSource
 
@@ -327,13 +327,31 @@ def _literal_type(value: Optional[ast.AST]) -> Optional[TypeRef]:
 
 
 class ExprTyper:
-    """Types expressions inside one method, from annotations outward."""
+    """Types expressions inside one method, from annotations outward.
 
-    def __init__(self, model: TypeModel, cls: Optional[ClassInfo], method: Optional[MethodInfo]):
+    With ``summaries`` (a
+    :class:`~repro.core.analysis.summaries.SummaryTable`), the typer also
+    consults interprocedurally inferred facts wherever annotations come up
+    empty — unannotated parameters, unannotated returns — and types
+    loop/comprehension targets from their iterable's element type.  The
+    default (``summaries=None``) is byte-identical to the paper-faithful
+    intraprocedural typer.
+    """
+
+    def __init__(
+        self,
+        model: TypeModel,
+        cls: Optional[ClassInfo],
+        method: Optional[MethodInfo],
+        summaries: Optional[Any] = None,
+    ):
         self.model = model
         self.cls = cls
         self.method = method
+        self.summaries = summaries
         self._locals: Dict[str, Optional[TypeRef]] = {}
+        #: locals typed from an iterable's element type (engine lane only)
+        self._element_locals: Set[str] = set()
         if method is not None:
             self._locals.update(method.params)
             # one prepass over local assignments (flow-insensitive)
@@ -344,12 +362,61 @@ class ExprTyper:
                         self._locals[tgt.id] = self.type_of(sub.value)
                 elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
                     self._locals[sub.target.id] = _annotation_to_typeref(sub.annotation)
+                elif summaries is not None and isinstance(sub, ast.For):
+                    self._type_loop_target(sub.target, sub.iter)
+                elif summaries is not None and isinstance(sub, ast.comprehension):
+                    self._type_loop_target(sub.target, sub.iter)
+
+    # -- engine lane: element types for loop/comprehension targets -------
+    def _type_loop_target(self, target: ast.AST, iterable: ast.AST) -> None:
+        elem = self._element_type(iterable)
+        if elem is None:
+            return
+        if isinstance(target, ast.Name):
+            if self._locals.get(target.id) is None:
+                self._locals[target.id] = elem
+                self._element_locals.add(target.id)
+        elif isinstance(target, ast.Tuple) and elem.name == "Tuple":
+            for part, ref in zip(target.elts, elem.args):
+                if isinstance(part, ast.Name) and self._locals.get(part.id) is None:
+                    self._locals[part.id] = ref
+                    self._element_locals.add(part.id)
+
+    def _element_type(self, iterable: ast.AST) -> Optional[TypeRef]:
+        ref = self.type_of(iterable)
+        if ref is None:
+            if (
+                isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and iterable.func.id in ("list", "sorted", "set", "tuple", "iter", "reversed")
+                and iterable.args
+            ):
+                return self._element_type(iterable.args[0])
+            return None
+        if ref.is_collection and ref.args:
+            if ref.name in ("Dict", "dict"):
+                return ref.args[0]  # iterating a mapping yields its keys
+            return ref.args[-1]
+        return None
 
     def type_of(self, node: ast.AST) -> Optional[TypeRef]:
         if isinstance(node, ast.Name):
             if node.id == "self" and self.cls is not None:
                 return TypeRef(self.cls.name)
-            return self._locals.get(node.id)
+            ref = self._locals.get(node.id)
+            if ref is None and self.summaries is not None and self.method is not None:
+                if node.id in self.method.params:
+                    return self.summaries.param_type(
+                        self.method.owner, self.method.name, node.id
+                    )
+            if (
+                ref is not None
+                and node.id in self._element_locals
+                and self.summaries is not None
+                and self.method is not None
+            ):
+                self.summaries.note_element(self.method.owner, self.method.name, node.id)
+            return ref
         if isinstance(node, ast.Attribute):
             receiver = self.type_of(node.value)
             if receiver is None:
@@ -374,11 +441,25 @@ class ExprTyper:
                     return None
                 method = self.model.lookup_method(receiver.name, func.attr)
                 if method is not None:
-                    return method.returns
+                    if method.returns is not None:
+                        return method.returns
+                    if self.summaries is not None:
+                        return self.summaries.return_type(method.owner, method.name)
+                    return None
                 # collection accessors: m.get(k) on Dict[K, V] -> V
                 if receiver.is_collection and len(receiver.args) >= 1:
                     if func.attr in ("get", "remove", "pop"):
                         return receiver.args[-1]
+                    if self.summaries is not None:
+                        # tracked-container views (engine lane only)
+                        if func.attr in ("snapshot", "copy"):
+                            return receiver
+                        if func.attr == "values":
+                            return TypeRef("List", (receiver.args[-1],))
+                        if func.attr == "keys":
+                            return TypeRef("List", (receiver.args[0],))
+                        if func.attr == "items" and len(receiver.args) == 2:
+                            return TypeRef("List", (TypeRef("Tuple", tuple(receiver.args)),))
                 return None
             return None
         if isinstance(node, ast.JoinedStr):

@@ -39,6 +39,14 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_kv(title: str, mapping: "dict") -> str:
+    """Render a small key/value block (the report CLI's stat sections)."""
+    width = max((len(str(k)) for k in mapping), default=0)
+    lines = [title]
+    lines.extend(f"  {str(k).ljust(width)} : {v}" for k, v in mapping.items())
+    return "\n".join(lines)
+
+
 def hours(sim_seconds: float) -> str:
     """Render simulated seconds as the paper's hour format."""
     return f"{sim_seconds / 3600.0:.2f}h"

@@ -21,7 +21,7 @@ Bug sites seeded here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.cluster import Node, tracked_dict
 from repro.cluster.ids import RegionInfo, ServerName
@@ -38,6 +38,9 @@ class ServerInfo:
     def __init__(self, server_name: ServerName):
         self.server_name = server_name
         self.load = 0
+        # regions the server has reported open (ServerManager-style
+        # bookkeeping; the ServerCrashProcedure consumes it)
+        self.regions: Set[RegionInfo] = set()
 
     def __str__(self) -> str:
         return str(self.server_name)
@@ -214,6 +217,9 @@ class HMaster(Node):
             self.transitions.remove(region)
         self._transition_since.pop(region, None)
         self.regions.put(region, server_name)
+        info = self.online_servers.get(server_name)
+        if info is not None:
+            info.regions.add(region)
         LOG.info("Region {} now open on {}", region, server_name)
         if region == META_REGION and not self.meta_assigned:
             self.meta_assigned = True
@@ -265,10 +271,17 @@ class HMaster(Node):
     def _handle_server_crash(self, server_name: ServerName) -> None:
         if not self.online_servers.contains(server_name):
             return
+        departed = self.online_servers.get(server_name)
         self.online_servers.remove(server_name)
         LOG.info("Removed {} from online servers; reassigning its regions", server_name)
         if self._meta_target == server_name and not self.meta_assigned:
             self._assign_meta()
+        self._reassign_regions_of(departed, server_name)
+
+    def _reassign_regions_of(self, departed, server_name: ServerName) -> None:
+        # ServerCrashProcedure body: requeue every region the dead server
+        # owned; departed is its ServerInfo snapshot, taken before the
+        # server was dropped from the online map
         for region, owner in list(self.regions.snapshot().items()):
             if owner != server_name:
                 continue
@@ -289,6 +302,8 @@ class HMaster(Node):
             self._transition_since[region] = self.cluster.loop.now
             LOG.info("Reassigning region {} from {} to {}", region, server_name, destination)
             self.send(destination.host, "open_region", region=region)
+        if departed is not None:
+            departed.regions.clear()  # the procedure consumed the report
 
     # ------------------------------------------------------------------
     # the slow assignment chore (the HBase timeout issue)

@@ -454,6 +454,11 @@ class ResourceManager(Node):
         else:
             node.release_container(container_id)  # AttributeError -> RM aborts
         self.containers.remove(container_id)
+        self._detach_from_attempt(rmc, container_id)
+
+    def _detach_from_attempt(self, rmc, container_id: ContainerId) -> None:
+        # drop the finished container from its attempt's bookkeeping; rmc
+        # is the RMContainer record the completion path already resolved
         attempt = self.attempts.get(rmc.attempt_id)
         if attempt is not None and container_id in attempt.container_ids:
             attempt.container_ids.remove(container_id)

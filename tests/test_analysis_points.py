@@ -40,6 +40,31 @@ def test_collection_op_kind(name, expected):
     assert collection_op_kind(name) == expected
 
 
+@pytest.mark.parametrize("name,expected", [
+    # Keyword matching is *stem* (prefix) matching over the normalized
+    # name, exactly as the paper's Table 3 keywords behave on Java method
+    # names — these document the deliberate collisions that implies.
+    ("setup", "write"),          # "set" prefix: setUp() counts as a write
+    ("settle", "write"),         # ditto, even without a set/get semantic
+    ("populate", "write"),       # "pop" prefix
+    ("getter", "read"),          # "get" prefix
+    ("atIndex", "read"),         # "at" prefix
+    ("subscribe", "read"),       # "sub" prefix
+    ("contains_key", "read"),    # "contain" + normalization
+    ("isempty", "read"),         # isEmpty vs is_empty vs isempty normalize
+    ("is_empty_now", "read"),
+    ("IS_EMPTY", "read"),
+    # ...and the near-misses that must NOT match: prefixes, not substrings
+    ("reset", None),             # contains "set" but does not start with it
+    ("unset", None),
+    ("budget", None),            # contains "get"
+    ("empty", None),             # "isEmpty" requires the is- prefix
+    ("display", None),
+])
+def test_collection_op_kind_prefix_collisions(name, expected):
+    assert collection_op_kind(name) == expected
+
+
 def test_keyword_lists_match_table3():
     assert set(READ_KEYWORDS) == {
         "get", "peek", "poll", "clone", "at", "element", "index",
@@ -126,6 +151,43 @@ def test_non_meta_fields_never_crash_points(extraction_and_model):
     extraction, model = extraction_and_model
     result = compute_crash_points(model, extraction, meta_universe())
     assert not any(p.field_name == "counter" for p in result.crash_points)
+
+
+def test_augassign_emits_read_and_write():
+    """`self.count += 1` both reads and writes the field: one classified
+    getfield read plus one putfield write at the same line."""
+    import textwrap
+    import ast as ast_mod
+    import types as types_mod
+    from repro.core.analysis.logging_statements import ModuleSource
+
+    code = textwrap.dedent('''
+        from repro.cluster.ids import NodeId
+
+        class Tally:
+            def __init__(self, node_id: NodeId):
+                self.node = node_id
+                self.count = 0
+
+            def bump(self):
+                self.count += 1
+    ''')
+    mod = types_mod.ModuleType("augmod")
+    src = ModuleSource(module=mod, name="augmod", source=code,
+                       tree=ast_mod.parse(code))
+    from repro.cluster import ids
+
+    sources = [src] + load_sources([ids])
+    model = TypeModel.build(sources)
+    extraction = extract_access_points(model, sources)
+    bump = [p for p in extraction.points if p.enclosing == "Tally.bump"]
+    assert {(p.op, p.via) for p in bump} == {("read", "getfield"),
+                                             ("write", "putfield")}
+    read = next(p for p in bump if p.op == "read")
+    write = next(p for p in bump if p.op == "write")
+    assert read.lineno == write.lineno
+    # the read side went through classification like any other read
+    assert not read.unused and not read.sanity_checked and not read.return_only
 
 
 def test_patched_guard_counts_as_check_only_when_patched():

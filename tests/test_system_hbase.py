@@ -109,7 +109,7 @@ def test_hbase_22050_close_ack_race():
 
 
 def test_hbase_3617_reassignment_target_vanishes():
-    outcome = inject_at("hbase", "_handle_server_crash", field="online_servers",
+    outcome = inject_at("hbase", "_reassign_regions_of", field="online_servers",
                         op="read")
     assert "HBASE-3617" in outcome.matched_bugs
 
