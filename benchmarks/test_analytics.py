@@ -1,0 +1,90 @@
+"""Failure-mode analytics: injections-to-first-detection, point vs novelty.
+
+Runs the full seeded campaigns on yarn and hbase twice — once in the
+profiler's point order, once under ``point_order="novelty"`` — and
+records how many injections each order needs before the first bug
+detection, plus the analytics pass's failure-mode and dedup counts and
+its wall time.  The numbers land in ``benchmarks/out/BENCH_analytics.json``;
+CI's analytics smoke job uploads the file as a build artifact.
+
+The gate reproduces the scheduler's reason to exist: on yarn, novelty
+order must reach its first detection in strictly fewer injections than
+point order.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import OUT_DIR, full_result
+from repro.api import CampaignConfig, run_campaign
+from repro.bugs import matcher_for_system
+from repro.obs.analytics import analyze_diagnoses
+from repro.systems import get_system
+
+BENCH_SYSTEMS = ["yarn", "hbase"]
+
+
+def measure(system_name):
+    result = full_result(system_name)
+    campaign = result.campaign
+
+    t0 = time.perf_counter()
+    report = analyze_diagnoses(campaign.diagnoses())
+    analytics_s = time.perf_counter() - t0
+
+    novelty = run_campaign(
+        get_system(system_name), result.analysis,
+        result.profile.dynamic_points,
+        campaign=CampaignConfig(point_order="novelty"),
+        baseline=campaign.baseline,
+        matcher=matcher_for_system(system_name),
+    )
+
+    return {
+        "points": len(campaign.outcomes),
+        "injections_to_first_detection": {
+            "point": campaign.first_detection(),
+            "novelty": novelty.first_detection(),
+        },
+        "bugs_detected": len(campaign.detected_bugs()),
+        "raw_detections": sum(
+            len(v) for v in campaign.detected_bugs().values()),
+        "failure_modes": len(report.modes),
+        "canonical_detections": len(report.dedup),
+        "analytics_s": round(analytics_s, 4),
+    }
+
+
+def test_novelty_order_first_detection(table_out):
+    data = {name: measure(name) for name in BENCH_SYSTEMS}
+
+    for name, row in data.items():
+        first = row["injections_to_first_detection"]
+        assert first["point"] is not None and first["novelty"] is not None
+        # novelty never schedules the first detection later than point
+        # order does ...
+        assert first["novelty"] <= first["point"]
+        # ... and the dedup layer always compresses to at most the raw
+        # detection count, one canonical record per detected bug
+        assert row["canonical_detections"] == row["bugs_detected"]
+        assert row["canonical_detections"] <= row["raw_detections"]
+    # the acceptance gate: strictly fewer injections on the seeded yarn
+    # campaign (hbase's point order already detects at its second point)
+    yarn_first = data["yarn"]["injections_to_first_detection"]
+    assert yarn_first["novelty"] < yarn_first["point"]
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_analytics.json").write_text(
+        json.dumps(data, indent=2) + "\n"
+    )
+    lines = ["Novelty-first scheduling: injections to first detection"]
+    for name, row in data.items():
+        first = row["injections_to_first_detection"]
+        lines.append(
+            f"  {name}: point={first['point']} novelty={first['novelty']} "
+            f"({row['points']} points, {row['failure_modes']} modes, "
+            f"{row['raw_detections']} detections -> "
+            f"{row['canonical_detections']} canonical, "
+            f"analytics {row['analytics_s']}s)"
+        )
+    table_out("\n".join(lines))

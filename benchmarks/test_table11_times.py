@@ -31,6 +31,7 @@ def test_table11_times(benchmark, table_out):
             t["workers"],
             speedup(t["test_speedup"]),
             t["execution"],
+            t["point_order"],
         ])
     # analysis finishes within minutes (the paper: < 5 min per system)
     assert all(data[name][0]["analysis_wall_s"] < 300 for name in PAPER_SYSTEMS)
@@ -42,6 +43,7 @@ def test_table11_times(benchmark, table_out):
     assert sim["yarn"] > sim["zookeeper"]
     table_out(format_table(
         ["System", "Engine", "Analysis (wall)", "Profile (wall)", "Test (wall)",
-         "Test (sim)", "Dynamic CPs", "Workers", "Speedup", "Execution"], rows,
+         "Test (sim)", "Dynamic CPs", "Workers", "Speedup", "Execution",
+         "Order"], rows,
         title="Table 11: analysis and testing times",
     ))

@@ -16,6 +16,12 @@ The supported surface:
   snapshot-and-resume test runs),
 * :class:`Observability` — opt-in tracing/metrics/diagnoses, passed as
   ``obs=``,
+* :func:`analyze_trace` / :class:`AnalyticsReport` — post-hoc
+  failure-mode analytics over an exported JSONL trace (clustering,
+  detection dedup, anomaly ranking); ``CampaignConfig(analytics=True)``
+  computes the same report in-process and
+  ``CampaignConfig(point_order="novelty")`` feeds it back into
+  scheduling,
 * :func:`get_system` / :func:`all_systems` / :func:`run_workload` — the
   simulated systems under test (Table 4),
 * :func:`build_baseline` / :class:`Baseline` and
@@ -49,7 +55,19 @@ from repro.core.injection import (
 from repro.obs import Observability
 from repro.systems import all_systems, get_system, run_workload
 
+
+def __getattr__(name: str):
+    # lazy, like repro.obs itself: keeps `python -m repro.obs.analytics`
+    # free of the runpy double-import warning (importing repro pulls in
+    # this module, which must therefore not pull in analytics eagerly)
+    if name in ("AnalyticsReport", "analyze_trace"):
+        from repro import obs
+
+        return getattr(obs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "AnalyticsReport",
     "Baseline",
     "CampaignConfig",
     "CampaignResult",
@@ -57,6 +75,7 @@ __all__ = [
     "InjectionOutcome",
     "Observability",
     "all_systems",
+    "analyze_trace",
     "build_baseline",
     "crashtuner",
     "fast_lane",

@@ -81,6 +81,24 @@ class CampaignConfig:
             campaign with fewer than ``workers * 2`` pending points
             degrades to in-process execution (the realized choice is
             recorded on :class:`CampaignResult`).
+        point_order: the order the test phase visits dynamic crash
+            points.  ``"point"`` (default) is the profiler's deterministic
+            point order; ``"novelty"`` schedules novelty-first — a greedy
+            farthest-point traversal over each point's static feature
+            vector (see :mod:`repro.obs.analytics`) so a campaign capped
+            by ``max_points`` spends its budget on the most dissimilar
+            points and reaches its first detection sooner.  Applied
+            *before* the ``max_points`` cut; outcomes, diagnoses, and the
+            journal follow the scheduled order.
+        analytics: run the post-hoc failure-mode analytics pass over the
+            campaign's diagnoses (and spans, when observability is on)
+            and attach the :class:`~repro.obs.analytics.AnalyticsReport`
+            to the result.  Strictly post-hoc: outcomes, Table 11 inputs,
+            and the JSONL export are byte-identical either way.
+        analytics_path: a prior campaign's ``modes --json`` dump; its
+            failure-mode medoids seed the ``"novelty"`` scheduler's
+            observed set, so a follow-up campaign starts from the points
+            least like anything that campaign already saw.
     """
 
     wait: float = 1.0
@@ -92,11 +110,18 @@ class CampaignConfig:
     journal_path: Optional[Union[str, Path]] = None
     execution: str = "replay"
     force_workers: bool = False
+    point_order: str = "point"
+    analytics: bool = False
+    analytics_path: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.execution not in ("replay", "snapshot"):
             raise ValueError(
                 f"execution must be 'replay' or 'snapshot', got {self.execution!r}"
+            )
+        if self.point_order not in ("point", "novelty"):
+            raise ValueError(
+                f"point_order must be 'point' or 'novelty', got {self.point_order!r}"
             )
 
     def replace(self, **overrides: Any) -> "CampaignConfig":
@@ -203,6 +228,19 @@ class CampaignResult:
     #: snapshot-engine statistics (recording runs, resumed/never-fired/
     #: fallback point counts, kernel manifests) when it ran
     snapshot_stats: Optional[Dict[str, Any]] = None
+    #: the order the test phase visited points (CampaignConfig.point_order)
+    point_order: str = "point"
+    #: post-hoc failure-mode analytics (an
+    #: :class:`~repro.obs.analytics.AnalyticsReport`) when
+    #: ``CampaignConfig(analytics=True)`` asked for it
+    analytics: Optional[Any] = None
+
+    def first_detection(self) -> Optional[int]:
+        """Index of the first tested injection that matched a bug."""
+        for i, outcome in enumerate(self.outcomes):
+            if outcome.matched_bugs:
+                return i
+        return None
 
     @property
     def speedup(self) -> float:
@@ -304,6 +342,7 @@ def _diagnose(
         verdict_kinds=verdict.kinds(),
         flagged=verdict.flagged,
         matched_bugs=list(matched),
+        uncommon_templates=list(verdict.uncommon_templates),
         duration=report.duration,
         events_processed=(
             report.cluster.loop.events_processed if report.cluster is not None else 0
@@ -379,6 +418,12 @@ def run_campaign(
     wall0 = _wallclock.perf_counter()
     active = obs if obs is not None else get_obs()
     points = list(dynamic_points)
+    if cfg.point_order == "novelty":
+        # imported lazily: analytics is a post-hoc layer over this module's
+        # output; only the scheduler hook reaches forward into it
+        from repro.obs.analytics import order_points
+
+        points = order_points(points, analytics_path=cfg.analytics_path)
     if cfg.max_points is not None:
         points = points[:cfg.max_points]
     with active:
@@ -392,6 +437,16 @@ def run_campaign(
                 matcher=matcher, cfg=cfg, config=config,
                 active=active, campaign_span=span,
             )
+    analytics_report = None
+    if cfg.analytics:
+        # strictly post-hoc: derives from evidence already collected, so
+        # outcomes, metrics, and the JSONL export are untouched by it
+        from repro.obs.analytics import analyze_diagnoses
+
+        analytics_report = analyze_diagnoses(
+            [o.diagnosis for o in report.outcomes if o.diagnosis is not None],
+            spans=active.tracer.spans if active.enabled else None,
+        )
     return CampaignResult(
         system=system.name,
         outcomes=report.outcomes,
@@ -404,4 +459,6 @@ def run_campaign(
         execution=report.execution,
         workers_realized=report.workers,
         snapshot_stats=report.snapshot_stats,
+        point_order=cfg.point_order,
+        analytics=analytics_report,
     )

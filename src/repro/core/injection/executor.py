@@ -94,7 +94,7 @@ class CampaignJournal:
         config: Optional[Dict[str, Any]],
     ) -> Dict[str, Any]:
         """What identifies a campaign: same meta -> same outcomes."""
-        return {
+        meta = {
             "version": JOURNAL_VERSION,
             "system": system.name,
             "seed": cfg.seed,
@@ -104,6 +104,12 @@ class CampaignJournal:
             "n_points": len(points),
             "config": _canonical_config(config),
         }
+        if cfg.point_order != "point":
+            # journal indices follow the scheduled order, so resuming under
+            # a different order must mismatch; the key is omitted for the
+            # default order to keep pre-existing journals valid
+            meta["point_order"] = cfg.point_order
+        return meta
 
     def load(
         self,

@@ -70,6 +70,10 @@ class OracleVerdict:
     timeout_issue: bool  # hang that completed under an extended deadline
     uncommon_exceptions: List[str] = field(default_factory=list)
     critical_aborts: List[str] = field(default_factory=list)
+    #: log signatures of the uncommon exceptions, runtime values stripped
+    #: ("component|level|template|exc"), sorted and deduplicated — the
+    #: anomalous-log template set the failure-mode analytics featurizes
+    uncommon_templates: List[str] = field(default_factory=list)
 
     @property
     def flagged(self) -> bool:
@@ -107,16 +111,20 @@ class OracleVerdict:
 def evaluate_run(report: RunReport, baseline: Baseline) -> OracleVerdict:
     """Apply the three oracles to one run (no extended re-run here)."""
     uncommon: List[str] = []
+    templates: Set[str] = set()
     if report.log is not None:
         for record in report.log.records:
             if record.is_error and record.signature() not in baseline.signatures:
                 uncommon.append(str(record))
+                templates.add("|".join(
+                    part or "" for part in record.signature()))
     verdict = OracleVerdict(
         job_failure=report.job_failure,
         hang=report.hang,
         timeout_issue=False,
         uncommon_exceptions=uncommon,
         critical_aborts=list(report.critical_aborts),
+        uncommon_templates=sorted(templates),
     )
     obs = get_obs()
     if obs.enabled:

@@ -786,6 +786,7 @@ def _unfired_outcome(
         verdict_kinds=verdict.kinds(),
         flagged=verdict.flagged,
         matched_bugs=list(matched),
+        uncommon_templates=list(verdict.uncommon_templates),
         duration=unfired["duration"],
         events_processed=unfired.get("events_processed", 0),
     )
@@ -859,6 +860,7 @@ def _combine_reclassified(
             verdict_kinds=verdict.kinds(),
             flagged=verdict.flagged,
             matched_bugs=list(matched),
+            uncommon_templates=list(verdict.uncommon_templates),
             duration=reply["duration"],
             events_processed=reply.get("events_processed", 0),
         )

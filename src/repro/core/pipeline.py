@@ -70,6 +70,7 @@ class CrashTunerResult:
             "workers": self.campaign.workers if self.campaign else 1,
             "test_speedup": self.campaign.speedup if self.campaign else 0.0,
             "execution": self.campaign.execution if self.campaign else "replay",
+            "point_order": self.campaign.point_order if self.campaign else "point",
         }
         row["total_wall_s"] = (
             row["analysis_wall_s"] + row["profile_wall_s"] + row["test_wall_s"]

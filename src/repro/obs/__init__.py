@@ -9,7 +9,10 @@ The subsystem the campaign pipeline threads through every layer:
 * :class:`MetricsRegistry` — counters/gauges/histograms with snapshots,
 * :class:`InjectionDiagnosis` — one record per dynamic crash point tested,
 * :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — the JSONL trace
-  format consumed by ``python -m repro.obs.report``.
+  format consumed by ``python -m repro.obs.report``,
+* :class:`AnalyticsReport` / :func:`analyze_trace` — post-hoc failure-mode
+  analytics (clustering, detection dedup, anomaly ranking, novelty
+  scheduling), the ``python -m repro.obs.analytics`` CLI's engine.
 """
 
 from repro.obs.context import NULL_OBS, Observability, get_obs
@@ -18,8 +21,20 @@ from repro.obs.export import TraceData, read_trace_jsonl, write_trace_jsonl
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, NullMetricsRegistry
 from repro.obs.tracer import NullTracer, SpanRecord, Tracer
 
+
+def __getattr__(name: str):
+    # lazy: keeps `python -m repro.obs.analytics` from re-executing a
+    # module this package already imported (the runpy double-import warning)
+    if name in ("AnalyticsReport", "analyze_trace"):
+        from repro.obs import analytics
+
+        return getattr(analytics, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "NULL_OBS",
+    "AnalyticsReport",
     "Counter",
     "Gauge",
     "Histogram",
@@ -31,6 +46,7 @@ __all__ = [
     "SpanRecord",
     "TraceData",
     "Tracer",
+    "analyze_trace",
     "format_diagnoses",
     "get_obs",
     "read_trace_jsonl",

@@ -50,6 +50,10 @@ class InjectionDiagnosis:
     verdict_kinds: List[str] = field(default_factory=list)
     flagged: bool = False
     matched_bugs: List[str] = field(default_factory=list)
+    #: anomalous-log template set: signatures of error records never seen
+    #: in clean baseline runs ("component|level|template|exc"), sorted —
+    #: the failure-mode featurizer's strongest symptom tokens
+    uncommon_templates: List[str] = field(default_factory=list)
     # run accounting (simulated time + event count pin determinism)
     duration: float = 0.0
     events_processed: int = 0

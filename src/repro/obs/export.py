@@ -59,18 +59,32 @@ def write_trace_jsonl(
 
 
 def read_trace_jsonl(path: Union[str, Path]) -> TraceData:
-    """Parse a trace file back into typed records."""
+    """Parse a trace file back into typed records.
+
+    A torn final line — the signature of a writer killed mid-``write`` —
+    is silently dropped, mirroring the campaign journal's torn-tail
+    truncation; malformed JSON anywhere *before* the last non-empty line
+    still raises :class:`ValueError`.
+    """
     trace = TraceData()
     with Path(path).open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
-            kind = record.pop("type", None)
+        lines = fh.readlines()
+    last = 0
+    for lineno, line in enumerate(lines, 1):
+        if line.strip():
+            last = lineno
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == last:
+                break
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        kind = record.pop("type", None)
+        try:
             if kind == "meta":
                 trace.meta.update(record)
             elif kind == "span":
@@ -81,4 +95,8 @@ def read_trace_jsonl(path: Union[str, Path]) -> TraceData:
                 trace.diagnoses.append(InjectionDiagnosis.from_dict(record))
             else:
                 raise ValueError(f"{path}:{lineno}: unknown trace line type {kind!r}")
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"{path}:{lineno}: malformed {kind} record: {exc!r}"
+            ) from exc
     return trace

@@ -53,6 +53,26 @@ def test_trace_campaign_writes_and_summarizes_a_trace(tmp_path):
     assert out.exists() and out.read_text().count('"diagnosis"') == 10
 
 
+def test_trace_campaign_analytics_and_novelty_order(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    proc = run_example("trace_campaign.py", "yarn", "--points", "10",
+                       "--order", "novelty", "--analytics", "--rank",
+                       "--out", str(out))
+    assert proc.returncode == 0, proc.stderr
+    assert "Failure modes" in proc.stdout
+    assert "Canonical detections" in proc.stdout
+    assert "Anomaly ranking" in proc.stdout
+    assert "first detection at injection 0 (novelty order)" in proc.stdout
+
+
+def test_trace_campaign_help_documents_campaign_knobs():
+    proc = run_example("trace_campaign.py", "--help")
+    assert proc.returncode == 0, proc.stderr
+    for flag in ("--workers", "--journal", "--order", "--analytics", "--rank"):
+        assert flag in proc.stdout
+    assert "resumes where it left off" in proc.stdout
+
+
 @pytest.mark.slow
 def test_find_yarn_bugs_runs_end_to_end():
     proc = run_example("find_yarn_bugs.py", timeout=600)

@@ -19,7 +19,7 @@ from repro.obs import (
     read_trace_jsonl,
     write_trace_jsonl,
 )
-from repro.obs.report import diff, main, summarize
+from repro.obs.report import diff, main, summarize, summarize_json
 
 
 # ----------------------------------------------------------------------
@@ -260,3 +260,114 @@ def test_report_cli_summarize_and_diff(tmp_path, capsys):
     assert "Injection diagnoses" in capsys.readouterr().out
     assert main([a, b]) == 0
     assert "No diagnosis changes" in capsys.readouterr().out
+    # explicit subcommands mean the same thing as the legacy spellings
+    assert main(["summarize", a]) == 0
+    assert "Injection diagnoses" in capsys.readouterr().out
+    assert main(["diff", a, b]) == 0
+    assert "No diagnosis changes" in capsys.readouterr().out
+
+
+def test_report_cli_summarize_json(tmp_path, capsys):
+    obs = _sample_obs()
+    a = str(write_trace_jsonl(tmp_path / "a.jsonl", obs=obs,
+                              meta={"system": "toy"}))
+    assert main(["summarize", a, "--json", "-"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["meta"] == {"system": "toy"}
+    assert payload["outcomes"] == {"hang": 1}
+    assert payload["bugs"] == {"TOY-1": 1}
+    assert payload["spans"]["workload"]["count"] == 1
+    assert payload["diagnoses"][0]["point"] == obs.diagnoses[0].point
+    # the function behind the flag is the payload diff() consumes
+    assert payload == summarize_json(read_trace_jsonl(a))
+
+    dump = tmp_path / "summary.json"
+    assert main(["summarize", a, "--json", str(dump)]) == 0
+    assert f"wrote {dump}" in capsys.readouterr().out
+    assert json.loads(dump.read_text()) == payload
+
+
+def test_report_cli_errors_cleanly_on_missing_and_corrupt(tmp_path, capsys):
+    missing = str(tmp_path / "missing.jsonl")
+    assert main([missing]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
+
+    corrupt = tmp_path / "corrupt.jsonl"
+    corrupt.write_text('{"type": "meta"}\nnot json at all\n{"type": "meta"}\n')
+    assert main(["summarize", str(corrupt)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "not JSON" in err and ":2" in err
+
+    assert main(["diff", missing, missing]) == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+# ----------------------------------------------------------------------
+# round-trip edges (empty, unicode, torn tail, forward compatibility)
+# ----------------------------------------------------------------------
+def test_empty_trace_roundtrip(tmp_path, capsys):
+    path = write_trace_jsonl(tmp_path / "empty.jsonl", diagnoses=[])
+    trace = read_trace_jsonl(path)
+    assert trace.meta == {} and trace.spans == []
+    assert trace.metrics == {} and trace.diagnoses == []
+    assert main([str(path)]) == 0
+    assert "(empty trace)" in capsys.readouterr().out
+
+
+def test_unicode_survives_the_roundtrip(tmp_path):
+    obs = Observability()
+    with obs:
+        with obs.tracer.span("workload", note="héârtbeat – 心跳 ✓"):
+            pass
+        obs.diagnoses.append(InjectionDiagnosis(
+            system="toy", point="read F.x via getfield at m:1", op="read",
+            field_name="x", enclosing="F.f", fired=True,
+            values=["ünïcode-väl", "节点-1"], resolved_value="节点-1",
+            target_host="nœud-1",
+            uncommon_templates=["nm|ERROR|lost node {} ümlaut|KeyError"],
+        ))
+    trace = read_trace_jsonl(write_trace_jsonl(tmp_path / "u.jsonl", obs=obs))
+    assert trace.spans[0].attrs["note"] == "héârtbeat – 心跳 ✓"
+    assert trace.diagnoses[0] == obs.diagnoses[0]
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    obs = _sample_obs()
+    path = write_trace_jsonl(tmp_path / "t.jsonl", obs=obs,
+                             meta={"system": "toy"})
+    intact = read_trace_jsonl(path)
+    whole = path.read_text()
+    # kill the writer mid-line: every prefix of the final record must
+    # still parse to the same trace minus the torn diagnosis
+    torn = whole.rstrip("\n")
+    path.write_text(torn[: len(torn) - 9])
+    trace = read_trace_jsonl(path)
+    assert trace.meta == intact.meta
+    assert len(trace.spans) == len(intact.spans)
+    assert trace.diagnoses == []
+
+    # but corruption before the last line is still an error
+    lines = whole.splitlines()
+    lines[1] = lines[1][:10]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        read_trace_jsonl(path)
+
+
+def test_diagnosis_from_dict_ignores_forward_keys(tmp_path):
+    d = _sample_obs().diagnoses[0]
+    data = d.to_dict()
+    data["added_in_a_future_release"] = {"nested": True}
+    assert InjectionDiagnosis.from_dict(data) == d
+    # and a whole trace line carrying unknown keys reads fine
+    path = tmp_path / "fwd.jsonl"
+    path.write_text(json.dumps({"type": "diagnosis", **data}) + "\n")
+    assert read_trace_jsonl(path).diagnoses == [d]
+
+
+def test_malformed_record_reports_path_and_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "span", "nonsense": 1}\n{"type": "meta"}\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:1: malformed span"):
+        read_trace_jsonl(path)
