@@ -1,0 +1,147 @@
+"""Campaign-service benchmarks — the price of durability and recovery.
+
+Three measurements, written to ``benchmarks/out/BENCH_service.json``:
+
+* **WAL append throughput**, per-frame fsync on vs off — what the
+  durability guarantee costs on the submit/transition hot path;
+* **cold-start recovery** — ``CampaignDaemon.start()`` over a WAL
+  holding many queued jobs: replay, table rebuild, scheduler refill;
+* **the live path** — submit → dispatch latency under a running daemon,
+  and the end-to-end drain wall for one cassandra campaign job.
+
+Scale with ``CRASHTUNER_BENCH_SCALE`` as usual: the queued-job count of
+the recovery measurement multiplies with it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import OUT_DIR, bench_scale
+from repro.core.report import format_table
+from repro.service import CampaignDaemon, ServiceClient
+from repro.service.jobs import QUEUED, JobSpec, JobTable
+from repro.service.wal import WriteAheadLog
+
+#: queued jobs replayed by the cold-start measurement (times bench scale)
+RECOVERY_JOBS = 150
+
+
+def _frames_per_second(path, fsync, min_seconds=0.25):
+    """Append one representative transition frame in a loop; frames/s."""
+    wal = WriteAheadLog(path, fsync=fsync)
+    wal.open_append()
+    rec = JobTable.transition_record("bench-job", QUEUED, reason="bench")
+    frames = 0
+    t0 = time.perf_counter()
+    while (elapsed := time.perf_counter() - t0) < min_seconds:
+        wal.append(rec)
+        frames += 1
+    wal.close()
+    return frames / elapsed
+
+
+def _cold_start(service_dir, n_jobs):
+    """Time daemon.start() over a WAL of ``n_jobs`` queued submissions."""
+    with WriteAheadLog(f"{service_dir}/wal.jsonl", fsync=False) as wal:
+        for i in range(n_jobs):
+            wal.append(JobTable.submit_record(
+                JobSpec(job_id=f"cassandra-bench-{i:05d}", system="cassandra")
+            ))
+    daemon = CampaignDaemon(service_dir, workers=4)
+    t0 = time.perf_counter()
+    daemon.start()  # replay + table rebuild + scheduler refill; no dispatch
+    elapsed = time.perf_counter() - t0
+    counts = daemon.table.counts()
+    pending = daemon.scheduler.pending()
+    daemon.close()
+    assert counts[QUEUED] == n_jobs, counts
+    assert pending == n_jobs, pending
+    return elapsed
+
+
+def _live_path(service_dir):
+    """Submit -> dispatch latency and full drain wall for one real job."""
+    client = ServiceClient(service_dir)
+    daemon = CampaignDaemon(service_dir, workers=1, poll_interval=0.01)
+    daemon.start()
+    t0 = time.perf_counter()
+    job_id = client.submit("cassandra")
+    while (job := daemon.table.jobs.get(job_id)) is None \
+            or job.state == QUEUED:
+        daemon.step()
+    dispatch_latency = time.perf_counter() - t0
+    while daemon.step():
+        time.sleep(0.01)
+    drain_wall = time.perf_counter() - t0
+    daemon.close()
+    result = client.result(job_id)
+    assert result is not None and result["state"] == "done", result
+    return dispatch_latency, drain_wall
+
+
+def test_service(benchmark, table_out):
+    n_jobs = RECOVERY_JOBS * bench_scale()
+
+    def measure():
+        root = tempfile.mkdtemp(prefix="bench-service-")
+        try:
+            fsync_on = _frames_per_second(f"{root}/wal-fsync.jsonl", True)
+            fsync_off = _frames_per_second(f"{root}/wal-nofsync.jsonl", False)
+            recovery = _cold_start(f"{root}/recover", n_jobs)
+            dispatch, drain = _live_path(f"{root}/live")
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        return {
+            "wal_fsync_frames_s": fsync_on,
+            "wal_nofsync_frames_s": fsync_off,
+            "recovery_wall_s": recovery,
+            "dispatch_latency_s": dispatch,
+            "drain_wall_s": drain,
+        }
+
+    m = benchmark(measure)
+    fsync_cost = m["wal_nofsync_frames_s"] / m["wal_fsync_frames_s"]
+
+    # the durable lane must still absorb submissions far faster than any
+    # plausible submit rate, and skipping fsync should never *lose* speed
+    assert m["wal_fsync_frames_s"] > 50
+    assert m["wal_nofsync_frames_s"] > m["wal_fsync_frames_s"] * 0.5
+    # cold start over the whole queue stays interactive
+    assert m["recovery_wall_s"] < 30.0
+    # a submitted job reaches a worker well before a human checks status
+    assert m["dispatch_latency_s"] < 10.0
+
+    record = {
+        "recovery_jobs": n_jobs,
+        "wal_fsync_frames_s": round(m["wal_fsync_frames_s"]),
+        "wal_nofsync_frames_s": round(m["wal_nofsync_frames_s"]),
+        "fsync_cost_x": round(fsync_cost, 2),
+        "recovery_wall_ms": round(1000 * m["recovery_wall_s"], 1),
+        "recovery_jobs_per_s": round(n_jobs / m["recovery_wall_s"]),
+        "dispatch_latency_ms": round(1000 * m["dispatch_latency_s"], 1),
+        "drain_wall_s": round(m["drain_wall_s"], 3),
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_service.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    table_out(format_table(
+        ["Path", "Measured", "Note"],
+        [
+            ["WAL append, fsync on", f"{m['wal_fsync_frames_s']:,.0f} frames/s",
+             f"{fsync_cost:.1f}x slower than no-fsync"],
+            ["WAL append, fsync off", f"{m['wal_nofsync_frames_s']:,.0f} frames/s",
+             "--no-fsync lane"],
+            ["cold-start recovery", f"{1000 * m['recovery_wall_s']:.0f} ms",
+             f"{n_jobs} queued jobs replayed"],
+            ["submit -> dispatch", f"{1000 * m['dispatch_latency_s']:.0f} ms",
+             "spool ingest + WAL frame + fork"],
+            ["cassandra job, end to end", f"{m['drain_wall_s']:.2f} s",
+             "submit -> drained, 1 worker"],
+        ],
+        title="Campaign service: durability, recovery, and dispatch",
+    ))

@@ -9,7 +9,7 @@ prints the per-run efficiency comparison the paper's Tables 7 and 9 make.
 
 import sys
 
-from repro.api import crashtuner, get_system
+from repro.api import crashtuner, format_table, get_system
 from repro.bugs import matcher_for_system
 from repro.core.baselines import (
     find_io_points,
@@ -17,7 +17,6 @@ from repro.core.baselines import (
     run_io_injection,
     run_random_injection,
 )
-from repro.core.report import format_table
 
 
 def main() -> None:

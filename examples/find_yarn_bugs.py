@@ -8,10 +8,8 @@ Then re-runs one marquee bug (YARN-9164, Figure 10) against the *patched*
 build to show the fix removing the crash point.
 """
 
-from repro.api import crashtuner, get_system
+from repro.api import analyze_system, crashtuner, get_system, profile_system
 from repro.bugs import get_bug, seeded_bugs
-from repro.core.analysis import analyze_system
-from repro.core.profiler import profile_system
 
 
 def main() -> None:

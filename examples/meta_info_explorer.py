@@ -11,8 +11,7 @@ the resulting crash points with the per-optimization pruning.
 
 import sys
 
-from repro import get_system
-from repro.core.analysis import analyze_system, point_key
+from repro.api import analyze_system, get_system, point_key
 
 
 def main() -> None:

@@ -12,13 +12,15 @@ paths get exercised with the same meta-info machinery.
 
 import sys
 
-from repro import get_system
+from repro.api import (
+    analyze_system,
+    build_baseline,
+    format_table,
+    get_system,
+    profile_system,
+)
 from repro.bugs import matcher_for_system
-from repro.core.analysis import analyze_system
 from repro.core.extensions import run_multi_crash_campaign
-from repro.core.injection import build_baseline
-from repro.core.profiler import profile_system
-from repro.core.report import format_table
 
 
 def main() -> None:

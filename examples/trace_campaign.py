@@ -23,16 +23,18 @@ import argparse
 import tempfile
 from pathlib import Path
 
-from repro.api import CampaignConfig, run_campaign
-from repro.bugs import matcher_for_system
-from repro.core.analysis import analyze_system
-from repro.core.injection import build_baseline
-from repro.core.profiler import profile_system
-from repro.obs import Observability, Tracer, write_trace_jsonl
+from repro.api import (
+    CampaignConfig,
+    analyze_system,
+    build_baseline,
+    get_system,
+    matcher_for_system,
+    profile_system,
+    run_campaign,
+)
+from repro.obs import Observability, Tracer, read_trace_jsonl, write_trace_jsonl
 from repro.obs.analytics import analyze_trace, format_dedup, format_modes, format_rank
 from repro.obs.report import diff, summarize
-from repro.obs.export import read_trace_jsonl
-from repro.systems import get_system
 
 EPILOG = """\
 campaign knobs:

@@ -11,7 +11,11 @@ in :mod:`repro.api` and is re-exported here:
   test (Table 4),
 * :func:`repro.run_workload` — drive one clean or fault-injected run,
 * :class:`repro.Observability` — opt-in tracing/metrics/diagnoses,
+* :func:`repro.submit` / :func:`repro.attach` — the campaign service
+  (``python -m repro daemon``): durable queue, SIGKILL-safe recovery,
 * :mod:`repro.bugs` — the bug catalog (Tables 1, 5, 6, 13).
+
+Every other name in :data:`repro.api.__all__` resolves here too, lazily.
 
 >>> from repro import CampaignConfig, crashtuner, get_system
 >>> result = crashtuner(get_system("yarn"), campaign=CampaignConfig(workers=4))
@@ -33,7 +37,15 @@ from repro.api import (
 )
 from repro import api
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
+
+
+def __getattr__(name: str):
+    # the rest of the supported surface (service front door, analytics,
+    # phase-1 helpers) resolves lazily through the facade
+    if name in api.__all__:
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CampaignConfig",

@@ -130,7 +130,7 @@ def _diff(previous: Dict[str, Any], current: List[Dict[str, Any]]) -> int:
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.core.analysis",
+        prog="python -m repro analysis",
         description="Static crash-point analysis reports.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -179,4 +179,6 @@ def main(argv: List[str] = None) -> int:
 
 
 if __name__ == "__main__":
+    print("note: 'python -m repro.core.analysis' is now 'python -m repro "
+          "analysis'; this alias remains for one release", file=sys.stderr)
     sys.exit(main())

@@ -18,7 +18,7 @@ one, only ``wall_seconds`` differs.
 from __future__ import annotations
 
 import time as _wallclock
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -123,10 +123,82 @@ class CampaignConfig:
             raise ValueError(
                 f"point_order must be 'point' or 'novelty', got {self.point_order!r}"
             )
+        # Cross-field combinations are validated here, at construction, so
+        # misuse fails with one clear message instead of surfacing deep
+        # inside the executor (or worse, being silently ignored).
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers} — 1 runs "
+                f"in-process, N > 1 fans out over a process pool"
+            )
+        if self.wait < 0:
+            raise ValueError(
+                f"wait must be >= 0 simulated seconds, got {self.wait}"
+            )
+        if self.max_points is not None and self.max_points < 0:
+            raise ValueError(
+                f"max_points must be >= 0 or None (test all points), "
+                f"got {self.max_points}"
+            )
+        if self.force_workers and self.workers == 1:
+            raise ValueError(
+                "force_workers=True with workers=1 has nothing to force — "
+                "it only pins a workers>1 pool past the small-campaign "
+                "degrade rule; pass workers>1 or drop force_workers"
+            )
+        if self.analytics_path is not None and self.point_order != "novelty":
+            raise ValueError(
+                "analytics_path seeds the novelty scheduler's observed set "
+                "and is ignored under any other order — pass "
+                'point_order="novelty" alongside it (or drop analytics_path)'
+            )
+        if self.journal_path is not None:
+            journal = Path(self.journal_path)
+            if str(self.journal_path) == "":
+                raise ValueError(
+                    "journal_path must name a file; pass None to disable "
+                    "the checkpoint journal"
+                )
+            if journal.is_dir():
+                raise ValueError(
+                    f"journal_path {str(journal)!r} is a directory — the "
+                    f"journal is one JSONL file (e.g. "
+                    f"{str(journal / 'campaign.jsonl')!r}); snapshot and "
+                    f"replay campaigns both append per-point outcome lines "
+                    f"to it"
+                )
 
     def replace(self, **overrides: Any) -> "CampaignConfig":
         """A copy with the given fields replaced (the config is frozen)."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # WAL/JSON round-trip: the campaign service persists submitted
+    # configs in its write-ahead log and rehydrates them in workers
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able dict of every field (paths become strings)."""
+        out = asdict(self)
+        for key in ("journal_path", "analytics_path"):
+            if out[key] is not None:
+                out[key] = str(out[key])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a newer writer's config must not be
+        silently narrowed by an older reader).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"CampaignConfig.from_dict: unknown field(s) {unknown} — "
+                f"written by a newer version?"
+            )
+        return cls(**data)
 
 
 def _coerce_campaign(
@@ -393,6 +465,7 @@ def run_campaign(
     baseline: Optional[Baseline] = None,
     matcher: Optional[BugMatcherFn] = None,
     obs: Optional[Observability] = None,
+    on_outcome: Optional[Callable[[int, InjectionOutcome], None]] = None,
 ) -> CampaignResult:
     """Exercise every dynamic crash point, one run each (Figure 4).
 
@@ -410,6 +483,14 @@ def run_campaign(
             :class:`~repro.obs.InjectionDiagnosis` per point lands both on
             the outcomes and on ``obs.diagnoses`` — identically whether
             the campaign ran sequentially or on a worker pool.
+        on_outcome: checkpoint hook, called as ``on_outcome(index,
+            outcome)`` each time a *newly tested* point finalizes (right
+            after its journal line, when a journal is configured) — in
+            completion order, which under a worker pool may differ from
+            point order.  Restored (journal-resumed) points do not call
+            it.  The campaign service uses this to beat each job's
+            heartbeat sentinel at every checkpoint; exceptions propagate
+            and abort the campaign.
     """
     # imported lazily: the executor module imports this one
     from repro.core.injection.executor import execute_points
@@ -435,7 +516,7 @@ def run_campaign(
             report = execute_points(
                 system, analysis, points, baseline,
                 matcher=matcher, cfg=cfg, config=config,
-                active=active, campaign_span=span,
+                active=active, campaign_span=span, on_outcome=on_outcome,
             )
     analytics_report = None
     if cfg.analytics:

@@ -55,7 +55,12 @@ from repro.core.profiler import DynamicCrashPoint
 from repro.obs import Observability
 from repro.systems.base import SystemUnderTest
 
+from typing import Callable
+
 JOURNAL_VERSION = 1
+
+#: checkpoint hook signature: ``(point_index, outcome)`` per tested point
+OutcomeHook = Callable[[int, InjectionOutcome], None]
 
 
 class JournalMismatch(ValueError):
@@ -189,6 +194,31 @@ class CampaignJournal:
             self._fh = None
 
 
+class _HookedJournal:
+    """A journal facade that also fires the per-checkpoint hook.
+
+    Wraps the (possibly absent) :class:`CampaignJournal` so every
+    execution path — sequential, parallel, snapshot — reaches the
+    ``on_outcome`` hook through the one ``record`` call it already makes,
+    with the journal line (when there is one) written *before* the hook
+    runs: a hook that observes a checkpoint can rely on it being durable.
+    """
+
+    def __init__(self, journal: Optional[CampaignJournal], hook: OutcomeHook):
+        self._journal = journal
+        self._hook = hook
+
+    def record(self, index: int, dpoint: DynamicCrashPoint,
+               outcome: InjectionOutcome) -> None:
+        if self._journal is not None:
+            self._journal.record(index, dpoint, outcome)
+        self._hook(index, outcome)
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+
+
 # ---------------------------------------------------------------------------
 # the worker side
 # ---------------------------------------------------------------------------
@@ -261,14 +291,17 @@ def execute_points(
     config: Optional[Dict[str, Any]],
     active: Observability,
     campaign_span: Any = None,
+    on_outcome: Optional[OutcomeHook] = None,
 ) -> ExecutionReport:
     """Run (or restore) every point; returns an :class:`ExecutionReport`.
 
     The ambient ``active`` context is already installed by
     :func:`~repro.core.injection.campaign.run_campaign`, with the
-    campaign span open.
+    campaign span open.  ``on_outcome`` (when given) fires per newly
+    tested point, after its journal line is written — see
+    :func:`~repro.core.injection.campaign.run_campaign`.
     """
-    journal: Optional[CampaignJournal] = None
+    journal: Optional[Any] = None
     loaded: Dict[int, InjectionOutcome] = {}
     if cfg.journal_path is not None:
         journal = CampaignJournal(cfg.journal_path)
@@ -276,6 +309,8 @@ def execute_points(
         fresh = not journal.path.exists()
         loaded = journal.load(points, meta)
         journal.open_append(meta, fresh=fresh)
+    if on_outcome is not None:
+        journal = _HookedJournal(journal, on_outcome)
     pending = [i for i in range(len(points)) if i not in loaded]
 
     workers = cfg.workers

@@ -1,6 +1,10 @@
-"""``python -m repro.obs`` — alias for :mod:`repro.obs.report`."""
+"""``python -m repro.obs`` — alias for ``python -m repro report``."""
+
+import sys
 
 from repro.obs.report import main
 
 if __name__ == "__main__":
+    print("note: 'python -m repro.obs' is now 'python -m repro report'; "
+          "this alias remains for one release", file=sys.stderr)
     raise SystemExit(main())

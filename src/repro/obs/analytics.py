@@ -482,7 +482,7 @@ def _write_json(payload: str, dest: str) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.obs.analytics",
+        prog="python -m repro analytics",
         description="Failure-mode analytics over a campaign trace JSONL.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -540,4 +540,6 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    print("note: 'python -m repro.obs.analytics' is now 'python -m repro "
+          "analytics'; this alias remains for one release", file=sys.stderr)
     sys.exit(main())

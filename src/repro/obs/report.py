@@ -176,7 +176,7 @@ def _emit_json(payload: Dict[str, Any], dest: str) -> None:
 
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.obs.report",
+        prog="python -m repro report",
         description="Summarize one trace JSONL, or diff two.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -218,4 +218,6 @@ def main(argv: List[str] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    print("note: 'python -m repro.obs.report' is now 'python -m repro "
+          "report'; this alias remains for one release", file=sys.stderr)
     raise SystemExit(main())

@@ -1,0 +1,262 @@
+"""``python -m repro daemon`` — the campaign service's command line.
+
+Every subcommand works against a *service directory* (the first
+positional argument), talking to the daemon only through durable files —
+so ``status`` on a SIGKILL'd daemon reports it dead rather than hanging,
+and ``submit`` while no daemon runs spools the job for the next one.
+
+Subcommands::
+
+    start DIR       run a daemon in the foreground (--drain: exit when
+                    the queue and workers are empty — CI's mode)
+    submit DIR SYS  queue one campaign; prints the job id
+    wait DIR JOB    block until a job's result lands; prints a summary
+    status DIR      daemon liveness + job counts      [--json PATH|-]
+    queue DIR       per-slot/per-system queue depths  [--json PATH|-]
+    recovery DIR    what the last startup pass did    [--json PATH|-]
+    metrics DIR     the daemon's metrics snapshot     [--json PATH|-]
+    drain DIR       ask the daemon to finish all work, then exit
+    stop DIR        ask the daemon to exit now (workers keep running)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.core.injection import CampaignConfig
+from repro.core.report import format_kv, format_table
+
+
+def _dump_json(payload: Any, target: Optional[str]) -> bool:
+    """Write ``--json`` output; returns True when it handled the output."""
+    if target is None:
+        return False
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return True
+
+
+def _cmd_start(args: argparse.Namespace) -> int:
+    from repro.service import CampaignDaemon
+
+    daemon = CampaignDaemon(
+        args.service_dir,
+        workers=args.workers,
+        heartbeat_timeout=args.heartbeat_timeout,
+        poll_interval=args.poll,
+        max_attempts=args.max_attempts,
+        fsync=not args.no_fsync,
+    )
+    if args.drain:
+        # pre-request a drain so run() exits once the queue empties
+        from repro.service import ServiceClient
+
+        ServiceClient(args.service_dir).drain()
+    print(f"daemon {daemon.daemon_id} serving {daemon.layout.root} "
+          f"({args.workers} workers)", flush=True)
+    daemon.run()
+    counts = daemon.table.counts()
+    print(f"daemon exiting: {counts}", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    campaign = CampaignConfig(
+        max_points=args.points,
+        seed=args.seed,
+        workers=args.campaign_workers,
+        execution=args.execution,
+        point_order=args.order,
+    )
+    client = ServiceClient(args.service_dir)
+    job_id = client.submit(args.system, campaign, trace=args.trace,
+                           job_id=args.job_id)
+    print(job_id)
+    return 0
+
+
+def _cmd_wait(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.service_dir)
+    try:
+        result = client.wait(args.job_id, timeout=args.timeout)
+    except (TimeoutError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not _dump_json(result, args.json):
+        print(format_kv(f"job {args.job_id}", {
+            "state": result["state"],
+            "points": result.get("n_points", 0),
+            "resumed": result.get("resumed", 0),
+            "bugs": ", ".join(sorted(result.get("detected_bugs", {}))) or "-",
+            "sim_seconds": f"{result.get('sim_seconds', 0.0):.1f}",
+            "wall_seconds": f"{result.get('wall_seconds', 0.0):.2f}",
+        }))
+    return 0 if result["state"] == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import service_status
+
+    payload = service_status(args.service_dir)
+    if _dump_json(payload, args.json):
+        return 0
+    daemon = payload.get("daemon", {})
+    print(format_kv("daemon", {
+        "alive": payload["daemon_alive"],
+        "lock": payload["lock"],
+        "daemon_id": daemon.get("daemon_id", "-"),
+        "workers": daemon.get("workers", "-"),
+        "draining": daemon.get("draining", False),
+    }))
+    print(format_kv("jobs", payload.get("counts", {})))
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from repro.service import queue_snapshot
+
+    payload = queue_snapshot(args.service_dir)
+    if _dump_json(payload, args.json):
+        return 0
+    queue = payload.get("queue", {})
+    print(format_kv("queue", {
+        "pending": queue.get("pending", 0),
+        "per_system": queue.get("per_system", {}),
+        "per_slot": queue.get("per_slot", []),
+    }))
+    rows = [[j["job_id"], j["system"], j["state"], j["attempts"],
+             j.get("reason", "")] for j in payload.get("jobs", [])]
+    print(format_table(["job", "system", "state", "attempts", "reason"],
+                       rows, title=f"{len(rows)} jobs"))
+    return 0
+
+
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    from repro.service import recovery_report
+
+    payload = recovery_report(args.service_dir)
+    if _dump_json(payload, args.json):
+        return 0
+    if not payload:
+        print("no recovery pass recorded yet")
+        return 0
+    print(format_kv("recovery", {
+        "daemon_id": payload.get("daemon_id", "-"),
+        "wal_frames": payload.get("wal_frames", 0),
+        "torn_frames_truncated": payload.get("torn_frames_truncated", 0),
+        "reattached": payload.get("reattached", []),
+        "requeued": payload.get("requeued", []),
+        "settled": payload.get("settled", []),
+        "failed": payload.get("failed", []),
+    }))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.service import metrics_snapshot
+
+    payload = metrics_snapshot(args.service_dir)
+    if _dump_json(payload, args.json):
+        return 0
+    print(format_kv("counters", payload.get("counters", {})))
+    print(format_kv("gauges", payload.get("gauges", {})))
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    ServiceClient(args.service_dir).drain()
+    print("drain requested")
+    return 0
+
+
+def _cmd_stop(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    ServiceClient(args.service_dir).stop()
+    print("stop requested")
+    return 0
+
+
+def _add_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", metavar="PATH",
+                        help="dump the JSON payload to PATH ('-' = stdout)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro daemon",
+        description=__doc__.split("\n\nSubcommands::")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    start = sub.add_parser("start", help="run a daemon in the foreground")
+    start.add_argument("service_dir")
+    start.add_argument("--workers", type=int, default=2)
+    start.add_argument("--poll", type=float, default=0.2,
+                       help="seconds between scheduling ticks")
+    start.add_argument("--heartbeat-timeout", type=float, default=30.0)
+    start.add_argument("--max-attempts", type=int, default=3)
+    start.add_argument("--no-fsync", action="store_true",
+                       help="skip the per-frame WAL fsync (tests only)")
+    start.add_argument("--drain", action="store_true",
+                       help="exit once the queue and workers are empty")
+    start.set_defaults(fn=_cmd_start)
+
+    submit = sub.add_parser("submit", help="queue one campaign")
+    submit.add_argument("service_dir")
+    submit.add_argument("system")
+    submit.add_argument("--points", type=int, default=None)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--campaign-workers", type=int, default=1,
+                        help="CampaignConfig.workers inside the job")
+    submit.add_argument("--execution", choices=("replay", "snapshot"),
+                        default="replay")
+    submit.add_argument("--order", choices=("point", "novelty"),
+                        default="point")
+    submit.add_argument("--trace", action="store_true",
+                        help="export the job's JSONL trace")
+    submit.add_argument("--job-id", default=None)
+    submit.set_defaults(fn=_cmd_submit)
+
+    wait = sub.add_parser("wait", help="block until a job finishes")
+    wait.add_argument("service_dir")
+    wait.add_argument("job_id")
+    wait.add_argument("--timeout", type=float, default=300.0)
+    _add_json(wait)
+    wait.set_defaults(fn=_cmd_wait)
+
+    for name, fn in (("status", _cmd_status), ("queue", _cmd_queue),
+                     ("recovery", _cmd_recovery), ("metrics", _cmd_metrics)):
+        view = sub.add_parser(name, help=f"the {name} admin view")
+        view.add_argument("service_dir")
+        _add_json(view)
+        view.set_defaults(fn=fn)
+
+    for name, fn in (("drain", _cmd_drain), ("stop", _cmd_stop)):
+        ctl = sub.add_parser(name, help=f"request a daemon {name}")
+        ctl.add_argument("service_dir")
+        ctl.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""Job specs, lifecycle states, and the WAL-replayed job table.
+
+A *job* is one submitted campaign: a system name plus the
+:class:`~repro.core.injection.CampaignConfig` to run it under (and an
+optional cluster config dict).  The daemon assigns each job a directory
+under ``<service_dir>/jobs/<job_id>/`` holding its campaign journal (the
+existing checkpoint/resume machinery), its heartbeat sentinel, and its
+final ``result.json`` — so a job's entire durable state lives in files
+that survive any process dying at any time.
+
+Lifecycle::
+
+    queued --dispatch--> running --result.json--> done
+      ^                     |                \\-> failed
+      \\----requeue (dead worker, journal kept)--/
+
+Every arrow is one WAL transition frame; :class:`JobTable` folds the
+frames back into per-job records on daemon startup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.injection import CampaignConfig
+
+
+class ServiceLayout:
+    """Where everything lives under one service directory.
+
+    ::
+
+        <root>/
+          daemon.lock         the daemon's own heartbeat sentinel
+          wal.jsonl           the write-ahead queue log (single writer)
+          status.json         atomic admin-API snapshot, daemon-rewritten
+          spool/              client submissions (atomic rename in)
+          control/            drain/stop requests (atomic rename in)
+          jobs/<job_id>/      journal.jsonl + sentinel.json + result.json
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.lock = self.root / "daemon.lock"
+        self.wal = self.root / "wal.jsonl"
+        self.status = self.root / "status.json"
+        self.spool = self.root / "spool"
+        self.control = self.root / "control"
+        self.jobs = self.root / "jobs"
+
+    def ensure(self) -> None:
+        for directory in (self.root, self.spool, self.control, self.jobs):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs / job_id
+
+#: the four job states the WAL can record
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+#: terminal states: no further transitions expected
+TERMINAL = (DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What was submitted: everything a worker needs to run the campaign.
+
+    ``campaign.journal_path`` must be unset at submission — the service
+    assigns each job's journal inside its job directory (that path *is*
+    the resume token, so it cannot be caller-controlled).
+    """
+
+    job_id: str
+    system: str
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    config: Optional[Dict[str, Any]] = None
+    #: export the job's observability trace to ``<job_dir>/trace.jsonl``
+    trace: bool = False
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.campaign.journal_path is not None:
+            raise ValueError(
+                "JobSpec: campaign.journal_path is service-assigned "
+                f"(jobs/{self.job_id}/journal.jsonl) — submit the config "
+                "without it"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "system": self.system,
+            "campaign": self.campaign.to_dict(),
+            "config": self.config,
+            "trace": self.trace,
+            "submitted_at": self.submitted_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        return cls(
+            job_id=data["job_id"],
+            system=data["system"],
+            campaign=CampaignConfig.from_dict(data["campaign"]),
+            config=data.get("config"),
+            trace=data.get("trace", False),
+            submitted_at=data.get("submitted_at", 0.0),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's current state, as replayed from the WAL."""
+
+    spec: JobSpec
+    state: str = QUEUED
+    #: dispatch count: 1 on first run, +1 per requeue
+    attempts: int = 0
+    #: worker pid of the current/last run (0 = never dispatched)
+    pid: int = 0
+    #: scheduler slot of the current/last run (-1 = never dispatched)
+    slot: int = -1
+    #: why the job was last requeued/failed, for the admin APIs
+    reason: str = ""
+    #: full transition history [(state, at, extra), ...]
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def system(self) -> str:
+        return self.spec.system
+
+    def summary(self) -> Dict[str, Any]:
+        """The admin-API view of this job."""
+        return {
+            "job_id": self.job_id,
+            "system": self.system,
+            "state": self.state,
+            "attempts": self.attempts,
+            "pid": self.pid,
+            "slot": self.slot,
+            "reason": self.reason,
+            "submitted_at": self.spec.submitted_at,
+        }
+
+
+class JobTable:
+    """The in-memory queue state; always equal to a replay of the WAL."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, JobRecord] = {}
+        #: submission order, for FIFO semantics downstream
+        self.order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # WAL replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "JobTable":
+        table = cls()
+        for rec in records:
+            table.apply(rec)
+        return table
+
+    def apply(self, rec: Dict[str, Any]) -> None:
+        """Fold one WAL record into the table (also used live)."""
+        kind = rec.get("type")
+        if kind == "submit":
+            spec = JobSpec.from_dict(rec["job"])
+            if spec.job_id in self.jobs:
+                # replayed duplicate submit (client retried into the
+                # spool): first one wins, later ones are no-ops
+                return
+            self.jobs[spec.job_id] = JobRecord(spec=spec)
+            self.order.append(spec.job_id)
+        elif kind == "transition":
+            job = self.jobs.get(rec["job_id"])
+            if job is None:
+                return
+            state = rec["state"]
+            extra = rec.get("extra", {})
+            job.state = state
+            job.reason = extra.get("reason", "")
+            if state == RUNNING:
+                job.attempts += 1
+                job.pid = extra.get("pid", 0)
+                job.slot = extra.get("slot", -1)
+            job.history.append(
+                {"state": state, "at": rec.get("at", 0.0), "extra": extra}
+            )
+
+    # ------------------------------------------------------------------
+    # WAL record builders (the daemon appends these, then applies them)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def submit_record(spec: JobSpec) -> Dict[str, Any]:
+        return {"type": "submit", "job": spec.to_dict()}
+
+    @staticmethod
+    def transition_record(job_id: str, state: str,
+                          **extra: Any) -> Dict[str, Any]:
+        assert state in STATES, state
+        return {
+            "type": "transition",
+            "job_id": job_id,
+            "state": state,
+            "at": time.time(),
+            "extra": extra,
+        }
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def in_state(self, *states: str) -> List[JobRecord]:
+        return [self.jobs[jid] for jid in self.order
+                if self.jobs[jid].state in states]
+
+    def counts(self) -> Dict[str, int]:
+        out = {state: 0 for state in STATES}
+        for job in self.jobs.values():
+            out[job.state] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.jobs)

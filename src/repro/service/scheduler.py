@@ -1,0 +1,125 @@
+"""The fleet scheduler: N worker slots, per-system fairness, work stealing.
+
+Queued jobs are spread over per-slot run queues at enqueue time (round-
+robin over slots, so load balances even if every job targets one
+system).  Within a slot, dispatch is *per-system fair*: the slot's queue
+is a ring of per-system FIFOs and consecutive dispatches rotate through
+the systems present, so six systems' campaigns interleave instead of the
+first-submitted system draining first.  A slot whose own queues are
+empty *steals* the fair-next job from the slot with the most pending
+work — idle capacity flows to the backlog without any rebalancing pass.
+
+Everything here is deterministic (ties break on sorted system name, then
+submission order) and purely in-memory: the scheduler is rebuilt from
+the WAL-replayed job table on daemon startup, so it never needs its own
+persistence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+class FleetScheduler:
+    """Per-slot, per-system FIFO queues with stealing between slots."""
+
+    def __init__(self, slots: int):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = slots
+        #: slot -> system -> FIFO of job ids
+        self._queues: List[Dict[str, Deque[str]]] = [{} for _ in range(slots)]
+        #: slot -> fair-dispatch ring position (index into sorted systems)
+        self._ring: List[int] = [0] * slots
+        #: next slot for round-robin enqueue
+        self._enqueue_rr = 0
+        self.stats: Dict[str, Any] = {
+            "enqueued": 0, "dispatched": 0, "stolen": 0,
+            "per_system": {},
+        }
+
+    # ------------------------------------------------------------------
+    # enqueue
+    # ------------------------------------------------------------------
+    def add(self, job_id: str, system: str) -> int:
+        """Queue a job; returns the slot whose run queue received it."""
+        slot = self._enqueue_rr
+        self._enqueue_rr = (self._enqueue_rr + 1) % self.slots
+        self._queues[slot].setdefault(system, deque()).append(job_id)
+        self.stats["enqueued"] += 1
+        sys_stats = self.stats["per_system"].setdefault(
+            system, {"enqueued": 0, "dispatched": 0})
+        sys_stats["enqueued"] += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _fair_pop(self, slot: int) -> Optional[Tuple[str, str]]:
+        """Pop the fair-next job of a slot's own queues, rotating systems."""
+        queues = self._queues[slot]
+        systems = sorted(name for name, q in queues.items() if q)
+        if not systems:
+            return None
+        pick = systems[self._ring[slot] % len(systems)]
+        self._ring[slot] += 1
+        job_id = queues[pick].popleft()
+        return job_id, pick
+
+    def next_job(self, slot: int) -> Optional[Tuple[str, str, bool]]:
+        """The next job for a free slot: ``(job_id, system, stolen)``.
+
+        Own queues first (per-system fair); otherwise steal the fair-next
+        job from the most loaded other slot.  ``None`` means the whole
+        fleet is out of queued work.
+        """
+        picked = self._fair_pop(slot)
+        stolen = False
+        if picked is None:
+            victim = self._most_loaded(exclude=slot)
+            if victim is None:
+                return None
+            picked = self._fair_pop(victim)
+            assert picked is not None
+            stolen = True
+            self.stats["stolen"] += 1
+        job_id, system = picked
+        self.stats["dispatched"] += 1
+        self.stats["per_system"].setdefault(
+            system, {"enqueued": 0, "dispatched": 0})["dispatched"] += 1
+        return job_id, system, stolen
+
+    def _most_loaded(self, exclude: int) -> Optional[int]:
+        best, best_depth = None, 0
+        for slot in range(self.slots):
+            if slot == exclude:
+                continue
+            depth = sum(len(q) for q in self._queues[slot].values())
+            if depth > best_depth:
+                best, best_depth = slot, depth
+        return best
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return sum(len(q) for queues in self._queues
+                   for q in queues.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The admin-API view: depth per slot and per system."""
+        per_slot = []
+        per_system: Dict[str, int] = {}
+        for slot, queues in enumerate(self._queues):
+            depth = 0
+            for system, q in sorted(queues.items()):
+                depth += len(q)
+                per_system[system] = per_system.get(system, 0) + len(q)
+            per_slot.append(depth)
+        return {
+            "pending": self.pending(),
+            "per_slot": per_slot,
+            "per_system": per_system,
+            "stats": self.stats,
+        }

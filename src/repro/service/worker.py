@@ -1,0 +1,141 @@
+"""The worker side of the campaign service: run one job, leave a trail.
+
+A worker is a forked child of the daemon, but it is deliberately *not*
+coupled to the daemon's life: it talks to the world only through its job
+directory — the heartbeat sentinel it beats at every phase boundary and
+campaign checkpoint, the campaign journal the executor appends per-point
+outcome lines to, and the ``result.json`` it atomically writes at the
+end.  A daemon that dies and restarts reattaches by watching those same
+files; a worker that dies leaves a journal the next attempt resumes
+from (no completed injection past the last checkpoint re-executes).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.bugs import matcher_for_system
+from repro.core.analysis import analyze_system
+from repro.core.injection import CampaignResult, build_baseline, run_campaign
+from repro.core.profiler import profile_system
+from repro.obs import Observability, Tracer, write_trace_jsonl
+from repro.service.jobs import JobSpec
+from repro.service.sentinel import Sentinel
+from repro.service.wal import atomic_write_json
+from repro.systems import get_system
+
+JOURNAL_NAME = "journal.jsonl"
+SENTINEL_NAME = "sentinel.json"
+RESULT_NAME = "result.json"
+TRACE_NAME = "trace.jsonl"
+
+
+def result_fingerprint(outcomes: Any) -> Any:
+    """Outcome dicts with wall-clock stripped: the cross-run identity.
+
+    Two runs of the same campaign — interrupted or not, parallel or not —
+    must produce byte-identical fingerprints; only wall-clock may differ.
+    """
+    stripped = []
+    for data in outcomes:
+        data = dict(data)
+        data.pop("wall_seconds", None)
+        stripped.append(data)
+    return stripped
+
+
+def build_result(spec: JobSpec, result: CampaignResult,
+                 attempts: int) -> Dict[str, Any]:
+    """The ``result.json`` payload for a finished campaign."""
+    outcomes = [o.to_dict() for o in result.outcomes]
+    return {
+        "job_id": spec.job_id,
+        "system": spec.system,
+        "state": "done",
+        "error": None,
+        "attempts": attempts,
+        "n_points": len(result.outcomes),
+        "resumed": result.resumed,
+        "outcomes": outcomes,
+        "fingerprint": result_fingerprint(outcomes),
+        "detected_bugs": {k: len(v) for k, v in result.detected_bugs().items()},
+        "first_detection": result.first_detection(),
+        "sim_seconds": result.sim_seconds,
+        "wall_seconds": result.wall_seconds,
+        "execution": result.execution,
+        "workers_realized": result.workers_realized,
+        "point_order": result.point_order,
+        "finished_at": time.time(),
+    }
+
+
+def run_job(spec: JobSpec, job_dir: Path, attempts: int = 1) -> Dict[str, Any]:
+    """Run one submitted campaign to completion inside ``job_dir``.
+
+    Returns the result payload (also durably written to ``result.json``).
+    Never raises: failures become a ``state="failed"`` result so the
+    daemon can record the transition without parsing tracebacks out of a
+    dead pipe.
+    """
+    job_dir = Path(job_dir)
+    job_dir.mkdir(parents=True, exist_ok=True)
+    sentinel = Sentinel(job_dir / SENTINEL_NAME, owner=spec.job_id)
+    sentinel.write(job_id=spec.job_id, phase="starting", attempts=attempts)
+
+    def checkpoint(index: int, outcome: Any) -> None:
+        # one beat per durable campaign checkpoint: the journal line for
+        # this outcome is already on disk when the hook fires
+        sentinel.beat(phase="campaign", checkpoint=index)
+
+    try:
+        cfg = spec.campaign.replace(journal_path=str(job_dir / JOURNAL_NAME))
+        system = get_system(spec.system)
+        sentinel.beat(phase="analysis")
+        analysis = analyze_system(system, seed=cfg.seed, config=spec.config)
+        sentinel.beat(phase="profile")
+        profile = profile_system(system, analysis, seed=cfg.seed,
+                                 config=spec.config)
+        sentinel.beat(phase="baseline")
+        baseline = build_baseline(system, config=spec.config)
+        sentinel.beat(phase="campaign")
+        obs = Observability(tracer=Tracer(max_spans=20_000)) if spec.trace else None
+        result = run_campaign(
+            system, analysis, profile.dynamic_points, campaign=cfg,
+            config=spec.config, baseline=baseline,
+            matcher=matcher_for_system(spec.system), obs=obs,
+            on_outcome=checkpoint,
+        )
+        if obs is not None:
+            write_trace_jsonl(job_dir / TRACE_NAME, obs=obs,
+                              meta={"system": spec.system,
+                                    "job_id": spec.job_id})
+        payload = build_result(spec, result, attempts)
+    except BaseException as exc:  # noqa: BLE001 - the trail is the contract
+        payload = {
+            "job_id": spec.job_id,
+            "system": spec.system,
+            "state": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "attempts": attempts,
+            "finished_at": time.time(),
+        }
+    # result.json lands atomically *before* the final beat, so any
+    # observer that sees the "finished" phase will also see the result
+    atomic_write_json(job_dir / RESULT_NAME, payload)
+    sentinel.beat(phase="finished", state=payload["state"])
+    return payload
+
+
+def worker_main(spec_dict: Dict[str, Any], job_dir: str,
+                attempts: int) -> None:
+    """Entry point of a forked worker process."""
+    spec = JobSpec.from_dict(spec_dict)
+    payload = run_job(spec, Path(job_dir), attempts=attempts)
+    # a clean, immediate exit: the daemon learns the outcome from
+    # result.json, not from our exit code (we may outlive the daemon)
+    os._exit(0 if payload["state"] == "done" else 1)

@@ -1,0 +1,341 @@
+"""The campaign daemon end to end: the tool survives its own medicine.
+
+The acceptance bar mirrors the paper's: ``kill -9`` the daemon or a
+worker at an arbitrary instant, restart, and the finished campaign's
+outcomes are byte-identical to an uninterrupted run — with nothing
+before the last checkpoint re-executed.  ``hbase`` is the kill target
+(its ~2.6s campaign has enough runway to kill mid-run); the fast
+systems cover the control paths.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.injection import CampaignConfig, run_campaign
+from repro.bugs import matcher_for_system
+from repro.service import (
+    CampaignDaemon,
+    DaemonAlreadyRunning,
+    ServiceClient,
+)
+from repro.service.jobs import JobSpec
+from repro.service.sentinel import Sentinel, pid_alive
+from repro.service.worker import (
+    JOURNAL_NAME,
+    RESULT_NAME,
+    SENTINEL_NAME,
+    result_fingerprint,
+)
+from tests.conftest import prepared
+
+KILL_SYSTEM = "hbase"
+
+_BASELINES = {}
+
+
+def baseline_fingerprint(system_name, max_points=None):
+    """The uninterrupted run's identity for a (system, cap) campaign."""
+    key = (system_name, max_points)
+    if key not in _BASELINES:
+        system, analysis, profile, baseline = prepared(system_name)
+        result = run_campaign(
+            system, analysis, profile.dynamic_points,
+            campaign=CampaignConfig(max_points=max_points),
+            baseline=baseline, matcher=matcher_for_system(system_name),
+        )
+        _BASELINES[key] = result_fingerprint(
+            [o.to_dict() for o in result.outcomes])
+    return _BASELINES[key]
+
+
+def fork_daemon(service_dir, **kwargs):
+    """A daemon in a forked child; returns its pid."""
+    pid = os.fork()
+    if pid:
+        return pid
+    try:
+        CampaignDaemon(service_dir, **kwargs).run()
+    finally:
+        os._exit(0)
+
+
+def wait_for(predicate, timeout=60.0, interval=0.02, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def journal_outcomes(path):
+    """Outcome records among the journal's *complete, valid* lines.
+
+    The journal may be mid-append while we peek (or torn by the kill we
+    just delivered) — a partial trailing line is simply not counted,
+    matching the executor's own torn-tail truncation.
+    """
+    if not path.exists():
+        return []
+    out = []
+    for line in path.read_text(errors="replace").splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("type") == "outcome":
+            out.append(record)
+    return out
+
+
+def valid_prefix(path):
+    """The journal bytes a resume is guaranteed to preserve."""
+    raw = path.read_bytes()
+    return raw[:raw.rfind(b"\n") + 1]
+
+
+def kill_and_reap(pid):
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    os.waitpid(pid, 0)
+
+
+def drain_in_process(service_dir, **kwargs):
+    daemon = CampaignDaemon(service_dir, **kwargs)
+    ServiceClient(service_dir).drain()
+    daemon.run()
+    return daemon
+
+
+# ----------------------------------------------------------------------
+# the happy path + admin API shapes
+# ----------------------------------------------------------------------
+def test_submit_drain_done_and_admin_views(tmp_path):
+    client = ServiceClient(tmp_path)
+    job_id = client.submit("cassandra", CampaignConfig())
+    drain_in_process(tmp_path, workers=2, poll_interval=0.01, fsync=False)
+
+    result = client.result(job_id)
+    assert result["state"] == "done"
+    assert result["fingerprint"] == baseline_fingerprint("cassandra")
+    assert result["attempts"] == 1
+
+    status = client.status()
+    assert status["daemon_alive"] is False  # drained and exited
+    assert status["counts"] == {"queued": 0, "running": 0,
+                                "done": 1, "failed": 0}
+    assert status["jobs"][job_id]["state"] == "done"
+
+    queue = client.queue()
+    assert queue["queue"]["pending"] == 0
+    assert [j["job_id"] for j in queue["jobs"]] == [job_id]
+
+    recovery = client.recovery()
+    assert recovery["requeued"] == [] and recovery["reattached"] == []
+
+    metrics = client.metrics()
+    assert metrics["counters"]["service.jobs_submitted"] == 1
+    assert metrics["counters"]["service.jobs_completed"] == 1
+    assert metrics["histograms"]["service.job_wall_seconds"]["count"] == 1
+
+    # wait() returns instantly on a settled job
+    assert client.wait(job_id, timeout=5.0)["state"] == "done"
+
+
+def test_submit_rejects_unknown_system(tmp_path):
+    with pytest.raises(ValueError, match="unknown system"):
+        ServiceClient(tmp_path).submit("hadoop-classic")
+
+
+# ----------------------------------------------------------------------
+# kill -9 the daemon: live workers are reattached, not restarted
+# ----------------------------------------------------------------------
+def test_daemon_killed_worker_survives_and_is_reattached(tmp_path):
+    client = ServiceClient(tmp_path)
+    job_id = client.submit(KILL_SYSTEM, CampaignConfig())
+    journal = tmp_path / "jobs" / job_id / JOURNAL_NAME
+
+    victim = fork_daemon(tmp_path, workers=1, poll_interval=0.02)
+    try:
+        # kill once the worker is demonstrably mid-campaign
+        wait_for(lambda: len(journal_outcomes(journal)) >= 2,
+                 what="worker checkpoints")
+    finally:
+        kill_and_reap(victim)
+
+    # the worker (the daemon's child) must have outlived it
+    sentinel = Sentinel(tmp_path / "jobs" / job_id / SENTINEL_NAME).read()
+    assert pid_alive(sentinel["pid"]), "worker died with the daemon"
+
+    daemon = drain_in_process(tmp_path, workers=1, poll_interval=0.02)
+    assert job_id in daemon._recovery["reattached"]
+
+    result = client.result(job_id)
+    assert result["state"] == "done"
+    assert result["attempts"] == 1, "reattached job must not be re-dispatched"
+    assert result["resumed"] == 0, "reattached worker never restarted"
+    assert result["fingerprint"] == baseline_fingerprint(KILL_SYSTEM)
+
+
+# ----------------------------------------------------------------------
+# kill -9 the daemon AND its worker: resume from the journal checkpoint
+# ----------------------------------------------------------------------
+def test_daemon_and_worker_killed_resume_from_checkpoint(tmp_path):
+    client = ServiceClient(tmp_path)
+    job_id = client.submit(KILL_SYSTEM, CampaignConfig())
+    job_dir = tmp_path / "jobs" / job_id
+    journal = job_dir / JOURNAL_NAME
+
+    victim = fork_daemon(tmp_path, workers=1, poll_interval=0.02)
+    try:
+        wait_for(lambda: len(journal_outcomes(journal)) >= 3,
+                 what="worker checkpoints")
+    finally:
+        kill_and_reap(victim)
+    worker_pid = Sentinel(job_dir / SENTINEL_NAME).read()["pid"]
+    os.kill(worker_pid, signal.SIGKILL)
+    wait_for(lambda: not pid_alive(worker_pid), what="worker death")
+
+    # the checkpoint state at the moment of the crash
+    frozen = valid_prefix(journal)
+    tested_before = len(journal_outcomes(journal))
+    assert tested_before >= 3
+
+    daemon = drain_in_process(tmp_path, workers=1, poll_interval=0.02)
+    assert job_id in daemon._recovery["requeued"]
+
+    result = client.result(job_id)
+    assert result["state"] == "done"
+    assert result["attempts"] == 2
+    # every pre-crash checkpoint was restored, none re-executed ...
+    assert result["resumed"] == tested_before
+    # ... the journal growing strictly append-only past the old prefix
+    assert journal.read_bytes().startswith(frozen)
+    assert len(journal_outcomes(journal)) == result["n_points"]
+    # and the stitched outcome stream is identical to an untouched run
+    assert result["fingerprint"] == baseline_fingerprint(KILL_SYSTEM)
+
+
+# ----------------------------------------------------------------------
+# kill -9 just the worker while the daemon lives: requeue + resume
+# ----------------------------------------------------------------------
+def test_worker_killed_under_live_daemon_is_requeued(tmp_path):
+    client = ServiceClient(tmp_path)
+    job_id = client.submit(KILL_SYSTEM, CampaignConfig())
+    job_dir = tmp_path / "jobs" / job_id
+    journal = job_dir / JOURNAL_NAME
+
+    daemon_pid = fork_daemon(tmp_path, workers=1, poll_interval=0.02)
+    try:
+        wait_for(lambda: len(journal_outcomes(journal)) >= 2,
+                 what="worker checkpoints")
+        worker_pid = Sentinel(job_dir / SENTINEL_NAME).read()["pid"]
+        os.kill(worker_pid, signal.SIGKILL)
+        ServiceClient(tmp_path).drain()
+        result = client.wait(job_id, timeout=120.0)
+    finally:
+        try:
+            os.kill(daemon_pid, signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+        os.waitpid(daemon_pid, 0)
+
+    assert result["state"] == "done"
+    assert result["attempts"] == 2
+    assert result["resumed"] > 0
+    assert result["fingerprint"] == baseline_fingerprint(KILL_SYSTEM)
+
+
+# ----------------------------------------------------------------------
+# lock arbitration
+# ----------------------------------------------------------------------
+def test_second_daemon_refused_while_first_is_alive(tmp_path):
+    first = CampaignDaemon(tmp_path, workers=1)
+    first.start()
+    try:
+        with pytest.raises(DaemonAlreadyRunning):
+            CampaignDaemon(tmp_path, workers=1).start()
+    finally:
+        first.close()
+    # a cleanly closed daemon releases the lock
+    second = CampaignDaemon(tmp_path, workers=1)
+    second.start()
+    second.close()
+
+
+def test_stale_lock_of_dead_daemon_is_taken_over(tmp_path):
+    victim = fork_daemon(tmp_path, workers=1, poll_interval=0.02)
+    lock = tmp_path / "daemon.lock"
+    try:
+        wait_for(lock.exists, what="daemon lock")
+    finally:
+        kill_and_reap(victim)
+    assert lock.exists(), "SIGKILL must leave the stale lock behind"
+
+    successor = CampaignDaemon(tmp_path, workers=1)
+    successor.start()  # must claim the stale lock, not raise
+    try:
+        assert Sentinel(lock).read()["daemon_id"] == successor.daemon_id
+    finally:
+        successor.close()
+
+
+# ----------------------------------------------------------------------
+# queued-work durability and control requests
+# ----------------------------------------------------------------------
+def test_stop_leaves_queue_durable_for_the_next_daemon(tmp_path):
+    client = ServiceClient(tmp_path)
+    ids = [client.submit("cassandra", CampaignConfig(), job_id=f"c{i}")
+           for i in range(3)]
+    daemon = CampaignDaemon(tmp_path, workers=1, poll_interval=0.01,
+                            fsync=False)
+    client.stop()
+    daemon.run()  # exits on the stop request, work still queued/running
+
+    drain_in_process(tmp_path, workers=2, poll_interval=0.01, fsync=False)
+    for job_id in ids:
+        assert client.result(job_id)["state"] == "done"
+
+
+def test_malformed_spool_submission_is_rejected_not_wedged(tmp_path):
+    client = ServiceClient(tmp_path)
+    (tmp_path / "spool" / "broken.json").write_text('{"job_id": "x"}')
+    ok = client.submit("cassandra", CampaignConfig())
+    drain_in_process(tmp_path, workers=1, poll_interval=0.01, fsync=False)
+
+    assert client.result(ok)["state"] == "done"
+    rejected = list((tmp_path / "spool").glob("*.rejected"))
+    assert len(rejected) == 1
+    assert client.status()["counts"]["failed"] == 0
+
+
+def test_failed_job_settles_and_wait_fails_fast(tmp_path):
+    daemon = CampaignDaemon(tmp_path, workers=1, poll_interval=0.01,
+                            fsync=False)
+    daemon.start()
+    # bypass the client's system validation: the worker must cope too
+    daemon.submit(JobSpec(job_id="ghost", system="no-such-system"))
+    try:
+        wait_for(lambda: not daemon.step(), timeout=60.0,
+                 what="daemon going idle")
+    finally:
+        daemon.close()
+
+    client = ServiceClient(tmp_path)
+    assert client.job("ghost")["state"] == "failed"
+    result = client.result("ghost")
+    assert result["state"] == "failed"
+    assert "no-such-system" in result["error"]
+    # wait() hands back the failed payload immediately (no hang) ...
+    assert client.wait("ghost", timeout=5.0)["state"] == "failed"
+    # ... and raises only when a job died with no result to return
+    (tmp_path / "jobs" / "ghost" / RESULT_NAME).unlink()
+    with pytest.raises(RuntimeError, match="ghost"):
+        client.wait("ghost", timeout=5.0)

@@ -1,0 +1,100 @@
+"""The fleet scheduler: fairness, stealing, and determinism.
+
+Dispatch order is part of the service's crash story — the restarted
+daemon rebuilds the scheduler from the WAL-replayed job table, so the
+same queue must always produce the same schedule.
+"""
+
+import pytest
+
+from repro.service import FleetScheduler
+
+
+def drain_slot(sched, slot):
+    out = []
+    while True:
+        pick = sched.next_job(slot)
+        if pick is None:
+            return out
+        out.append(pick)
+
+
+def test_rejects_zero_slots():
+    with pytest.raises(ValueError):
+        FleetScheduler(0)
+
+
+def test_round_robin_enqueue_balances_one_system():
+    sched = FleetScheduler(3)
+    slots = [sched.add(f"j{i}", "yarn") for i in range(6)]
+    assert slots == [0, 1, 2, 0, 1, 2]
+    assert sched.snapshot()["per_slot"] == [2, 2, 2]
+
+
+def test_per_system_fair_dispatch_interleaves():
+    """Six yarn jobs queued first must not starve the cassandra one."""
+    sched = FleetScheduler(1)
+    for i in range(3):
+        sched.add(f"y{i}", "yarn")
+    sched.add("c0", "cassandra")
+    sched.add("h0", "hdfs")
+    systems = [system for _, system, _ in drain_slot(sched, 0)]
+    # ring over sorted nonempty systems: every system seen within one lap
+    assert systems.index("cassandra") < 3
+    assert systems.index("hdfs") < 3
+    assert systems.count("yarn") == 3
+
+
+def test_fifo_within_a_system():
+    sched = FleetScheduler(1)
+    for i in range(4):
+        sched.add(f"j{i}", "yarn")
+    assert [jid for jid, _, _ in drain_slot(sched, 0)] == \
+        ["j0", "j1", "j2", "j3"]
+
+
+def test_idle_slot_steals_from_most_loaded():
+    sched = FleetScheduler(2)
+    # stack slot 0 by adding with rr, then draining slot 1's own share
+    for i in range(4):
+        sched.add(f"j{i}", "yarn")  # slots 0,1,0,1
+    assert sched.next_job(1)[0] == "j1"
+    assert sched.next_job(1)[0] == "j3"
+    job_id, system, stolen = sched.next_job(1)
+    assert (job_id, system, stolen) == ("j0", "yarn", True)
+    assert sched.stats["stolen"] == 1
+    # and the rightful owner still gets the rest
+    assert sched.next_job(0) == ("j2", "yarn", False)
+    assert sched.next_job(0) is None
+    assert sched.pending() == 0
+
+
+def test_deterministic_rebuild():
+    """Same add sequence -> same dispatch sequence, every time."""
+    def schedule():
+        sched = FleetScheduler(2)
+        for i, system in enumerate(
+                ["yarn", "hdfs", "yarn", "cassandra", "hdfs", "yarn"]):
+            sched.add(f"j{i}", system)
+        order = []
+        slot = 0
+        while True:
+            pick = sched.next_job(slot)
+            if pick is None:
+                break
+            order.append((slot, pick))
+            slot = (slot + 1) % 2
+        return order
+
+    assert schedule() == schedule()
+
+
+def test_snapshot_shape():
+    sched = FleetScheduler(2)
+    sched.add("j0", "yarn")
+    sched.add("j1", "hdfs")
+    snap = sched.snapshot()
+    assert snap["pending"] == 2
+    assert snap["per_system"] == {"yarn": 1, "hdfs": 1}
+    assert len(snap["per_slot"]) == 2
+    assert snap["stats"]["enqueued"] == 2

@@ -1,0 +1,141 @@
+"""The service WAL's contract: every acknowledged frame survives a kill.
+
+The write-ahead log may lose at most the one frame being written at the
+instant of a SIGKILL (torn tail, truncated on the next open); any frame
+whose append returned must replay, and damage anywhere *other* than the
+tail must refuse to replay rather than silently drop acknowledged work.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.service import WalCorrupt, WriteAheadLog, atomic_write_json
+from repro.service.wal import frame_crc, read_json
+
+
+def _records(n):
+    return [{"type": "transition", "job_id": f"job-{i}", "state": "queued",
+             "at": float(i), "extra": {}} for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# round trip
+# ----------------------------------------------------------------------
+def test_append_replay_roundtrip(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    records = _records(25)
+    with WriteAheadLog(path) as wal:
+        for rec in records:
+            wal.append(rec)
+    assert WriteAheadLog(path).replay() == records
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    wal = WriteAheadLog(tmp_path / "absent.jsonl")
+    assert wal.replay() == []
+    wal.open_append()
+    wal.append({"k": 1})
+    wal.close()
+    assert WriteAheadLog(wal.path).replay() == [{"k": 1}]
+
+
+def test_frames_are_crc_checked(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    rec = {"type": "submit", "job": {"job_id": "j1"}}
+    path.write_text(json.dumps({"crc": frame_crc(rec), "rec": rec}) + "\n")
+    assert WriteAheadLog(path).replay() == [rec]
+    # same line, wrong checksum: the frame is dead
+    path.write_text(json.dumps({"crc": frame_crc(rec) ^ 1, "rec": rec}) + "\n")
+    assert WriteAheadLog(path).replay() == []
+
+
+# ----------------------------------------------------------------------
+# torn tails
+# ----------------------------------------------------------------------
+def _write_frames(path, records):
+    with WriteAheadLog(path) as wal:
+        for rec in records:
+            wal.append(rec)
+
+
+@pytest.mark.parametrize("tear", [
+    lambda raw: raw[:-3],                      # kill mid-line
+    lambda raw: raw + b'{"crc": 1, "rec"',     # kill mid-next-frame
+    lambda raw: raw + b"garbage not json\n",   # junk appended
+])
+def test_torn_tail_truncated_on_open(tmp_path, tear):
+    path = tmp_path / "wal.jsonl"
+    records = _records(10)
+    _write_frames(path, records)
+    path.write_bytes(tear(path.read_bytes()))
+
+    wal = WriteAheadLog(path)
+    replayed = wal.replay()
+    assert replayed == records[:len(replayed)]
+    assert len(replayed) >= 9
+    assert wal.torn_frames == 1
+    wal.open_append()
+    wal.append({"post": "recovery"})
+    wal.close()
+    # the torn bytes are gone; old frames + the new one replay cleanly
+    assert WriteAheadLog(path).replay() == replayed + [{"post": "recovery"}]
+
+
+def test_valid_frame_after_bad_frame_refuses(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    _write_frames(path, _records(5))
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[2] = b"damaged mid-log\n"
+    path.write_bytes(b"".join(lines))
+    with pytest.raises(WalCorrupt):
+        WriteAheadLog(path).replay()
+
+
+def test_sigkill_mid_append_loses_at_most_one_frame(tmp_path):
+    """A real kill -9 against a busy appender: the prefix survives."""
+    path = tmp_path / "wal.jsonl"
+    script = textwrap.dedent(f"""
+        import sys
+        from repro.service import WriteAheadLog
+        wal = WriteAheadLog({str(path)!r}, fsync=False)
+        wal.replay(); wal.open_append()
+        i = 0
+        while True:
+            wal.append({{"seq": i, "pad": "x" * 512}})
+            i += 1
+            if i == 50:
+                print("warm", flush=True)
+    """)
+    proc = subprocess.Popen([sys.executable, "-c", script],
+                            stdout=subprocess.PIPE)
+    assert proc.stdout.readline().strip() == b"warm"
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+
+    wal = WriteAheadLog(path)
+    replayed = wal.replay()  # must not raise: only the tail may be torn
+    assert wal.torn_frames <= 1
+    assert [rec["seq"] for rec in replayed] == list(range(len(replayed)))
+    assert len(replayed) >= 50
+    wal.open_append()
+    wal.append({"seq": len(replayed), "pad": ""})
+    wal.close()
+    assert WriteAheadLog(path).replay()[-1]["seq"] == len(replayed)
+
+
+# ----------------------------------------------------------------------
+# atomic JSON documents
+# ----------------------------------------------------------------------
+def test_atomic_write_json_roundtrip_and_no_temp_litter(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_json(path, {"a": 1})
+    atomic_write_json(path, {"a": 2}, fsync=False)
+    assert read_json(path) == {"a": 2}
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+    assert read_json(tmp_path / "missing.json") is None

@@ -1,0 +1,120 @@
+"""``python -m repro`` is the front door; the old doors still open.
+
+The umbrella CLI must list every subcommand, pass arguments through to
+each tool's own parser, and keep the legacy module entry points working
+as aliases (with their pointer note on stderr, never stdout — CI pipes
+stdout into ``json.loads``).
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+SUBCOMMANDS = ("campaign", "daemon", "report", "analytics", "analysis")
+
+LEGACY = (
+    "repro.obs",
+    "repro.obs.report",
+    "repro.obs.analytics",
+    "repro.core.analysis",
+)
+
+
+def run_module(module, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_help_lists_every_subcommand():
+    proc = run_module("repro", "--help")
+    assert proc.returncode == 0, proc.stderr
+    for name in SUBCOMMANDS:
+        assert name in proc.stdout
+
+
+def test_no_args_prints_usage_and_succeeds():
+    proc = run_module("repro")
+    assert proc.returncode == 0
+    assert "usage: python -m repro" in proc.stdout
+
+
+def test_unknown_subcommand_fails_with_usage():
+    proc = run_module("repro", "teleport")
+    assert proc.returncode == 2
+    assert "unknown command" in proc.stderr
+
+
+@pytest.mark.parametrize("name", SUBCOMMANDS)
+def test_subcommand_help_passes_through(name):
+    proc = run_module("repro", name, "--help")
+    assert proc.returncode == 0, proc.stderr
+    assert "usage:" in proc.stdout
+    assert f"python -m repro {name}" in proc.stdout
+
+
+def test_campaign_subcommand_runs_one_campaign():
+    proc = run_module("repro", "campaign", "cassandra", "--json", "-")
+    assert proc.returncode == 0, proc.stderr
+    assert "campaign cassandra" in proc.stdout
+    payload = json.loads(proc.stdout[proc.stdout.index("{"):])
+    assert payload["system"] == "cassandra"
+    assert payload["n_points"] == 3
+    assert "CA-15131" in payload["detected_bugs"]
+
+
+def test_campaign_survives_early_closed_stdout():
+    # `python -m repro campaign ... | head` must exit 0 quietly, like the
+    # report CLI does — no BrokenPipeError traceback
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "cassandra"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    proc.stdout.close()  # reader goes away before the summary is printed
+    err = proc.stderr.read()
+    assert proc.wait(timeout=240) == 0, err
+    assert "Traceback" not in err
+
+
+def test_campaign_subcommand_rejects_unknown_system():
+    proc = run_module("repro", "campaign", "hadoop-classic")
+    assert proc.returncode == 2
+    assert "unknown system" in proc.stderr
+
+
+def test_daemon_subcommand_round_trip(tmp_path):
+    service_dir = str(tmp_path / "svc")
+    submit = run_module("repro", "daemon", "submit", service_dir,
+                        "cassandra")
+    assert submit.returncode == 0, submit.stderr
+    job_id = submit.stdout.strip()
+    assert job_id.startswith("cassandra-")
+
+    start = run_module("repro", "daemon", "start", service_dir,
+                       "--workers", "1", "--poll", "0.02", "--no-fsync",
+                       "--drain")
+    assert start.returncode == 0, start.stderr
+
+    wait = run_module("repro", "daemon", "wait", service_dir, job_id,
+                      "--json", "-")
+    assert wait.returncode == 0, wait.stderr
+    assert json.loads(wait.stdout)["state"] == "done"
+
+    status = run_module("repro", "daemon", "status", service_dir,
+                        "--json", "-")
+    payload = json.loads(status.stdout)
+    assert payload["daemon_alive"] is False
+    assert payload["counts"]["done"] == 1
+
+
+@pytest.mark.parametrize("module", LEGACY)
+def test_legacy_entry_point_still_works(module):
+    proc = run_module(module, "--help")
+    assert proc.returncode == 0, proc.stderr
+    assert "usage:" in proc.stdout
+    # the one-release pointer goes to stderr only — stdout is parsed by CI
+    assert "python -m repro " in proc.stderr
+    assert "note:" not in proc.stdout
