@@ -11,7 +11,8 @@ shows the report CLI's real help, not a summary of it::
     python -m repro analysis yarn                 static-analysis report
 
 The older module entry points (``python -m repro.obs.analytics`` etc.)
-still work as thin aliases of these subcommands.
+were removed in 1.5.0 after one release as deprecated aliases; they now
+exit with a pointer to the subcommand that replaced them.
 """
 
 from __future__ import annotations
@@ -41,6 +42,14 @@ def _run_campaign_cmd(argv: List[str]) -> int:
                         default="point")
     parser.add_argument("--execution", choices=("replay", "snapshot"),
                         default="replay")
+    parser.add_argument("--select", choices=("full", "representative"),
+                        default="full",
+                        help="'representative' clusters points into "
+                             "equivalence classes and tests one per class")
+    parser.add_argument("--audit-fraction", type=float, default=0.1,
+                        help="fraction of non-representative members "
+                             "executed anyway to cross-check their class "
+                             "(representative mode only)")
     parser.add_argument("--journal", metavar="PATH", default=None,
                         help="checkpoint journal (reruns resume from it)")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -68,6 +77,7 @@ def _run_campaign_cmd(argv: List[str]) -> int:
     cfg = CampaignConfig(
         max_points=args.points, seed=args.seed, workers=args.workers,
         point_order=args.order, execution=args.execution,
+        point_select=args.select, audit_fraction=args.audit_fraction,
         journal_path=args.journal,
     )
     system = get_system(args.system)
@@ -78,7 +88,7 @@ def _run_campaign_cmd(argv: List[str]) -> int:
                           campaign=cfg, baseline=baseline,
                           matcher=matcher_for_system(args.system))
     bugs = result.detected_bugs()
-    print(format_kv(f"campaign {args.system}", {
+    summary = {
         "points": len(result.outcomes),
         "resumed": result.resumed,
         "bugs": ", ".join(f"{k}({len(v)})" for k, v in sorted(bugs.items()))
@@ -86,7 +96,14 @@ def _run_campaign_cmd(argv: List[str]) -> int:
         "first_detection": result.first_detection(),
         "sim_seconds": f"{result.sim_seconds:.1f}",
         "wall_seconds": f"{result.wall_seconds:.2f}",
-    }))
+    }
+    if result.classes is not None:
+        cs = result.classes
+        summary["classes"] = (
+            f"{cs['classes']} ({cs['executed']} executed, "
+            f"{cs['audited']} audited, {cs['promoted']} promoted)"
+        )
+    print(format_kv(f"campaign {args.system}", summary))
     if args.json:
         payload = json.dumps({
             "system": args.system,
@@ -95,6 +112,8 @@ def _run_campaign_cmd(argv: List[str]) -> int:
             "detected_bugs": {k: len(v) for k, v in bugs.items()},
             "first_detection": result.first_detection(),
             "outcomes": [o.to_dict() for o in result.outcomes],
+            "point_select": result.point_select,
+            "classes": result.classes,
             "sim_seconds": result.sim_seconds,
             "wall_seconds": result.wall_seconds,
         }, indent=2, sort_keys=True) + "\n"

@@ -25,8 +25,10 @@ The supported surface:
 * :class:`CampaignConfig` — the one frozen config object for both
   (oracle knobs, seed, ``workers`` for parallel campaigns,
   ``journal_path`` for checkpoint/resume, ``execution="snapshot"`` for
-  snapshot-and-resume test runs); cross-field combinations are
-  validated at construction,
+  snapshot-and-resume test runs, ``point_select="representative"`` to
+  cluster points into predicted-behavior equivalence classes and test
+  one per class, with an ``audit_fraction`` verification lane);
+  cross-field combinations are validated at construction,
 * :class:`Observability` — opt-in tracing/metrics/diagnoses, passed as
   ``obs=``,
 * :func:`analyze_trace` / :class:`AnalyticsReport` — post-hoc

@@ -179,6 +179,7 @@ def main(argv: List[str] = None) -> int:
 
 
 if __name__ == "__main__":
-    print("note: 'python -m repro.core.analysis' is now 'python -m repro "
-          "analysis'; this alias remains for one release", file=sys.stderr)
-    sys.exit(main())
+    # the one-release deprecation window for this alias ended in 1.5.0
+    print("error: 'python -m repro.core.analysis' was removed in 1.5.0; "
+          "use 'python -m repro analysis'", file=sys.stderr)
+    sys.exit(2)

@@ -7,6 +7,12 @@ from repro.core.injection.campaign import (
     run_campaign,
     run_one_injection,
 )
+from repro.core.injection.classes import (
+    PointClass,
+    SelectionPlan,
+    build_classes,
+    class_signature,
+)
 from repro.core.injection.control_center import ControlCenter, InjectionRecord
 from repro.core.injection.executor import (
     CampaignJournal,
@@ -35,8 +41,12 @@ __all__ = [
     "OnlineLogAgent",
     "OnlineMetaStore",
     "OracleVerdict",
+    "PointClass",
+    "SelectionPlan",
     "Trigger",
     "build_baseline",
+    "build_classes",
+    "class_signature",
     "evaluate_run",
     "run_campaign",
     "run_one_injection",

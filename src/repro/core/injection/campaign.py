@@ -99,6 +99,19 @@ class CampaignConfig:
             failure-mode medoids seed the ``"novelty"`` scheduler's
             observed set, so a follow-up campaign starts from the points
             least like anything that campaign already saw.
+        point_select: which points the test phase actually executes.
+            ``"full"`` (default) runs every point; ``"representative"``
+            clusters points into predicted-behavior equivalence classes
+            (:mod:`repro.core.injection.classes`) and executes one
+            representative per class plus an audit draw, propagating the
+            representative's outcome to the rest (flagged
+            ``propagated=True``).  A class whose audited members disagree
+            with their representative is promoted to full execution.
+        audit_fraction: size of the representative mode's verification
+            lane — the fraction of non-representative members executed
+            anyway and cross-checked against their class representative
+            (``0.0`` disables auditing; only meaningful with
+            ``point_select="representative"``).
     """
 
     wait: float = 1.0
@@ -113,6 +126,8 @@ class CampaignConfig:
     point_order: str = "point"
     analytics: bool = False
     analytics_path: Optional[Union[str, Path]] = None
+    point_select: str = "full"
+    audit_fraction: float = 0.1
 
     def __post_init__(self) -> None:
         if self.execution not in ("replay", "snapshot"):
@@ -122,6 +137,26 @@ class CampaignConfig:
         if self.point_order not in ("point", "novelty"):
             raise ValueError(
                 f"point_order must be 'point' or 'novelty', got {self.point_order!r}"
+            )
+        if self.point_select not in ("full", "representative"):
+            raise ValueError(
+                f"point_select must be 'full' or 'representative', "
+                f"got {self.point_select!r}"
+            )
+        if not 0.0 <= self.audit_fraction <= 1.0:
+            raise ValueError(
+                f"audit_fraction must be within [0.0, 1.0], got "
+                f"{self.audit_fraction} — it is the fraction of "
+                f"non-representative class members executed for "
+                f"cross-checking"
+            )
+        if self.point_select == "representative" and self.random_fallback:
+            raise ValueError(
+                "point_select='representative' clusters points by the "
+                "injection predicted at profile time, which assumes the "
+                "default store-based resolution; random_fallback targets "
+                "an unpredictable node for unresolved values — run those "
+                "campaigns with point_select='full'"
             )
         # Cross-field combinations are validated here, at construction, so
         # misuse fails with one clear message instead of surfacing deep
@@ -236,6 +271,12 @@ class InjectionOutcome:
     wall_seconds: float = 0.0
     #: the full per-injection story (repro.obs), always populated
     diagnosis: Optional[InjectionDiagnosis] = None
+    #: representative-point execution: the equivalence class this point
+    #: was assigned to ("" under point_select="full"), and whether this
+    #: outcome was propagated from the class representative's run instead
+    #: of being executed itself
+    class_id: str = ""
+    propagated: bool = False
 
     @property
     def flagged(self) -> bool:
@@ -246,7 +287,7 @@ class InjectionOutcome:
     # the campaign re-attaches by index (it is not JSON-able losslessly)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "point": self.dpoint.describe(),
             "fired": self.fired,
             "injection": self.injection.to_dict() if self.injection else None,
@@ -256,6 +297,14 @@ class InjectionOutcome:
             "wall_seconds": self.wall_seconds,
             "diagnosis": self.diagnosis.to_dict() if self.diagnosis else None,
         }
+        # emitted only when set: a full-execution campaign's dicts (and
+        # the service's cross-run fingerprints) are unchanged by the
+        # representative-mode fields
+        if self.class_id:
+            data["class_id"] = self.class_id
+        if self.propagated:
+            data["propagated"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any], dpoint: DynamicCrashPoint) -> "InjectionOutcome":
@@ -274,6 +323,8 @@ class InjectionOutcome:
                 InjectionDiagnosis.from_dict(data["diagnosis"])
                 if data.get("diagnosis") else None
             ),
+            class_id=data.get("class_id", ""),
+            propagated=data.get("propagated", False),
         )
 
 
@@ -306,6 +357,11 @@ class CampaignResult:
     #: :class:`~repro.obs.analytics.AnalyticsReport`) when
     #: ``CampaignConfig(analytics=True)`` asked for it
     analytics: Optional[Any] = None
+    #: which points the test phase executed (CampaignConfig.point_select)
+    point_select: str = "full"
+    #: representative-execution statistics (classes, executed, audited,
+    #: promoted, propagated) when ``point_select="representative"`` ran
+    classes: Optional[Dict[str, Any]] = None
 
     def first_detection(self) -> Optional[int]:
         """Index of the first tested injection that matched a bug."""
@@ -542,4 +598,6 @@ def run_campaign(
         snapshot_stats=report.snapshot_stats,
         point_order=cfg.point_order,
         analytics=analytics_report,
+        point_select=cfg.point_select,
+        classes=report.class_stats,
     )

@@ -39,7 +39,7 @@ import json
 import multiprocessing
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -50,6 +50,7 @@ from repro.core.injection.campaign import (
     InjectionOutcome,
     run_one_injection,
 )
+from repro.core.injection.classes import SelectionPlan, build_classes
 from repro.core.injection.oracles import Baseline
 from repro.core.profiler import DynamicCrashPoint
 from repro.obs import Observability
@@ -114,6 +115,15 @@ class CampaignJournal:
             # a different order must mismatch; the key is omitted for the
             # default order to keep pre-existing journals valid
             meta["point_order"] = cfg.point_order
+        if cfg.point_select != "full":
+            # the class-assignment digest pins which points execute and
+            # which propagate: a journal resumed under a drifted
+            # assignment (changed signature, audit fraction, or point
+            # list) must mismatch instead of silently mixing plans.  The
+            # keys are omitted under "full" to keep old journals valid.
+            meta["point_select"] = cfg.point_select
+            meta["audit_fraction"] = cfg.audit_fraction
+            meta["classes"] = build_classes(points, cfg.audit_fraction).digest()
         return meta
 
     def load(
@@ -279,6 +289,9 @@ class ExecutionReport:
     workers: int
     execution: str
     snapshot_stats: Optional[Dict[str, Any]] = None
+    #: representative-execution statistics (classes, executed, audited,
+    #: promoted, propagated) when ``point_select="representative"`` ran
+    class_stats: Optional[Dict[str, Any]] = None
 
 
 def execute_points(
@@ -327,15 +340,25 @@ def execute_points(
         execution == "replay"
         and workers > 1
         and not cfg.force_workers
+        and cfg.point_select == "full"
         and len(pending) < workers * 2
     ):
         # pool startup dominates campaigns this small (Table 11's
         # zookeeper/cassandra rows ran *slower* parallel than sequential);
-        # degrade to in-process unless the caller explicitly forced it
+        # degrade to in-process unless the caller explicitly forced it.
+        # Representative campaigns apply the same rule per round instead
+        # (their executed subset, not `pending`, is what the pool sees).
         workers = 1
     snapshot_stats: Optional[Dict[str, Any]] = None
+    class_stats: Optional[Dict[str, Any]] = None
     try:
-        if execution == "snapshot" and pending:
+        if cfg.point_select == "representative":
+            outcomes, class_stats, snapshot_stats, workers = _run_representative(
+                system, analysis, points, baseline, matcher, cfg, config,
+                active, campaign_span, loaded, pending, journal, workers,
+                execution,
+            )
+        elif execution == "snapshot" and pending:
             from repro.core.injection.snapshot import run_snapshot
 
             outcomes, snapshot_stats = run_snapshot(
@@ -362,6 +385,7 @@ def execute_points(
         workers=workers,
         execution=execution,
         snapshot_stats=snapshot_stats,
+        class_stats=class_stats,
     )
 
 
@@ -461,3 +485,242 @@ def _run_parallel(
             active.diagnoses.append(outcome.diagnosis)
         outcomes.append(outcome)
     return outcomes
+
+
+# ---------------------------------------------------------------------------
+# representative execution (point_select="representative")
+# ---------------------------------------------------------------------------
+class _SubsetJournal:
+    """Journal facade for one round of a representative campaign.
+
+    Rounds run a *subset* of the point list through the ordinary
+    execution paths, which journal by subset-local index; this facade
+    remaps each ``record`` back to the true campaign index, and stamps
+    the outcome (and its diagnosis, in place — the ambient context holds
+    the same object) with its equivalence class before the line is
+    written.  It is installed even when no journal is configured, because
+    the stamping must reach every path's one ``record`` call; the real
+    journal's lifetime stays with the campaign parent (``close`` no-op).
+    """
+
+    def __init__(self, journal: Optional[Any], indices: List[int],
+                 class_of: Dict[int, str]):
+        self._journal = journal
+        self._indices = indices
+        self._class_of = class_of
+
+    def record(self, index: int, dpoint: DynamicCrashPoint,
+               outcome: InjectionOutcome) -> None:
+        true_index = self._indices[index]
+        _stamp_class(outcome, self._class_of.get(true_index, ""))
+        if self._journal is not None:
+            self._journal.record(true_index, dpoint, outcome)
+
+    def close(self) -> None:
+        pass
+
+
+def _stamp_class(outcome: InjectionOutcome, class_id: str) -> None:
+    if not class_id:
+        return
+    outcome.class_id = class_id
+    if outcome.diagnosis is not None:
+        outcome.diagnosis.point_class = class_id
+
+
+def _behavior(outcome: InjectionOutcome) -> Tuple:
+    """What the audit lane compares: oracle verdict + bug attribution."""
+    return (
+        tuple(sorted(outcome.verdict.kinds())),
+        tuple(sorted(outcome.matched_bugs)),
+    )
+
+
+def _propagate_outcome(
+    primary: InjectionOutcome,
+    dpoint: DynamicCrashPoint,
+    class_id: str,
+) -> InjectionOutcome:
+    """Materialize a class member's outcome from its representative's run.
+
+    The clone carries the representative's *evidence* (verdict, matched
+    bugs, diagnosis resolution chain) under this member's own identity
+    (point, stack, scale), flagged ``propagated`` so analytics can
+    exclude it from bug dedup and span attribution.  Wall/sim accounting
+    stays with the representative: a propagated point cost nothing.
+    """
+    clone = InjectionOutcome.from_dict(primary.to_dict(), dpoint)
+    clone.class_id = class_id
+    clone.propagated = True
+    clone.wall_seconds = 0.0
+    clone.duration = 0.0
+    if clone.diagnosis is not None:
+        point = dpoint.point
+        clone.diagnosis = _dc_replace(
+            clone.diagnosis,
+            point=point.describe(),
+            op=point.op,
+            field_name=point.field_name,
+            enclosing=point.enclosing,
+            stack=list(dpoint.stack),
+            scale=dpoint.scale,
+            point_class=class_id,
+            propagated=True,
+        )
+    return clone
+
+
+def _run_representative(
+    system: SystemUnderTest,
+    analysis: AnalysisReport,
+    points: List[DynamicCrashPoint],
+    baseline: Baseline,
+    matcher: Optional[BugMatcherFn],
+    cfg: CampaignConfig,
+    config: Optional[Dict[str, Any]],
+    active: Observability,
+    campaign_span: Any,
+    loaded: Dict[int, InjectionOutcome],
+    pending: List[int],
+    journal: Optional[Any],
+    workers: int,
+    execution: str,
+) -> Tuple[List[InjectionOutcome], Dict[str, Any],
+           Optional[Dict[str, Any]], int]:
+    """Execute one representative per equivalence class, audit a sample.
+
+    Round 1 runs every class representative plus the global audit draw;
+    any audited member whose behavior (verdict kinds + matched bugs)
+    disagrees with its representative promotes its *whole class* to full
+    execution in round 2.  Remaining members get propagated clones of
+    their representative's outcome.  Promotion is a pure function of
+    behaviors, so a journal-resumed campaign promotes exactly the same
+    classes a fresh run would.
+    """
+    plan = build_classes(points, cfg.audit_fraction)
+    pending_set = set(pending)
+    results: Dict[int, InjectionOutcome] = {}
+    n0 = len(active.diagnoses) if active.enabled else 0
+    snapshot_stats: Optional[Dict[str, Any]] = None
+    realized = 1
+
+    def outcome_of(index: int) -> InjectionOutcome:
+        return results[index] if index in results else loaded[index]
+
+    def run_round(indices: List[int]) -> None:
+        nonlocal realized, snapshot_stats
+        indices = [i for i in indices if i in pending_set and i not in results]
+        if not indices:
+            return
+        subset = [points[i] for i in indices]
+        facade = _SubsetJournal(journal, indices, plan.class_of)
+        if execution == "snapshot":
+            from repro.core.injection.snapshot import run_snapshot
+
+            outcomes, stats = run_snapshot(
+                system, analysis, subset, baseline, matcher, cfg, config,
+                active, campaign_span, {}, list(range(len(subset))),
+                facade, workers,
+            )
+            # fold per-round stats; manifests re-keyed to true indices
+            stats["manifests"] = {
+                str(indices[int(local)]): manifest
+                for local, manifest in stats["manifests"].items()
+            }
+            if snapshot_stats is None:
+                snapshot_stats = stats
+            else:
+                for key, value in stats.items():
+                    if key == "manifests":
+                        snapshot_stats["manifests"].update(value)
+                    else:
+                        snapshot_stats[key] += value
+            realized = max(realized, workers)
+        else:
+            round_workers = workers
+            if (round_workers > 1 and not cfg.force_workers
+                    and len(subset) < round_workers * 2):
+                # same small-campaign degrade rule as full mode, applied
+                # to what this round actually feeds the pool
+                round_workers = 1
+            if round_workers > 1 and len(subset) > 1:
+                outcomes = _run_parallel(
+                    system, analysis, subset, baseline, matcher, cfg,
+                    config, active, campaign_span, {},
+                    list(range(len(subset))), facade, round_workers,
+                )
+                realized = max(realized, round_workers)
+            else:
+                outcomes = _run_sequential(
+                    system, analysis, subset, baseline, matcher, cfg,
+                    config, active, {}, facade,
+                )
+        for local, true_index in enumerate(indices):
+            results[true_index] = outcomes[local]
+
+    # round 1: every class representative, plus the audit draw
+    run_round(sorted(set(plan.representatives) | set(plan.audited)))
+
+    # the verification lane: an audited member disagreeing with its
+    # representative promotes the whole class to full execution
+    promoted: List[str] = []
+    round2: List[int] = []
+    for cls in plan.classes:
+        rep_behavior = _behavior(outcome_of(cls.representative))
+        if any(_behavior(outcome_of(i)) != rep_behavior for i in cls.audited):
+            promoted.append(cls.class_id)
+            round2.extend(cls.members)
+    if round2:
+        run_round(sorted(round2))
+
+    # propagate: unexecuted members of unpromoted classes inherit their
+    # representative's outcome (journaled under their own index/key, so
+    # a resume restores them without re-deriving the plan's history)
+    promoted_set = set(promoted)
+    n_propagated = 0
+    for cls in plan.classes:
+        if cls.class_id in promoted_set:
+            continue
+        rep = outcome_of(cls.representative)
+        for index in cls.members:
+            if index in results or index in loaded:
+                continue
+            clone = _propagate_outcome(rep, points[index], cls.class_id)
+            results[index] = clone
+            n_propagated += 1
+            if journal is not None:
+                journal.record(index, points[index], clone)
+
+    # deterministic merge: one outcome per point; the ambient diagnosis
+    # list is rebuilt in point order (rounds appended theirs in execution
+    # order, restored points never appended at all)
+    outcomes = [outcome_of(index) for index in range(len(points))]
+    if active.enabled:
+        del active.diagnoses[n0:]
+        active.diagnoses.extend(
+            o.diagnosis for o in outcomes if o.diagnosis is not None
+        )
+
+    executed = sum(1 for o in outcomes if not o.propagated)
+    audited_run = [i for i in plan.audited
+                   if not outcome_of(i).propagated]
+    class_stats = {
+        "classes": len(plan.classes),
+        "executed": executed,
+        "audited": len(audited_run),
+        "promoted": len(promoted),
+        "propagated": n_propagated,
+    }
+    if active.enabled:
+        # the purity counters: how often the audit lane caught an impure
+        # class (a promotion) versus confirmed the representative
+        metrics = active.metrics
+        metrics.counter("campaign.classes").inc(len(plan.classes))
+        metrics.counter("campaign.classes_promoted").inc(len(promoted))
+        metrics.counter("campaign.points_audited").inc(len(audited_run))
+        metrics.counter("campaign.points_propagated").inc(n_propagated)
+        if plan.classes:
+            metrics.gauge("campaign.class_purity").set(
+                1.0 - len(promoted) / len(plan.classes)
+            )
+    return outcomes, class_stats, snapshot_stats, realized

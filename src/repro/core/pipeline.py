@@ -71,7 +71,14 @@ class CrashTunerResult:
             "test_speedup": self.campaign.speedup if self.campaign else 0.0,
             "execution": self.campaign.execution if self.campaign else "replay",
             "point_order": self.campaign.point_order if self.campaign else "point",
+            "point_select": self.campaign.point_select if self.campaign else "full",
         }
+        if self.campaign is not None and self.campaign.classes is not None:
+            # representative execution: how many equivalence classes the
+            # campaign collapsed to, and how many members the audit lane
+            # cross-checked against their representative
+            row["classes"] = self.campaign.classes["classes"]
+            row["audited"] = self.campaign.classes["audited"]
         row["total_wall_s"] = (
             row["analysis_wall_s"] + row["profile_wall_s"] + row["test_wall_s"]
         )

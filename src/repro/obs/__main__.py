@@ -1,10 +1,9 @@
-"""``python -m repro.obs`` — alias for ``python -m repro report``."""
+"""Removed entry point: ``python -m repro.obs`` ended its one-release
+deprecation window in 1.5.0.  Use ``python -m repro report``."""
 
 import sys
 
-from repro.obs.report import main
-
 if __name__ == "__main__":
-    print("note: 'python -m repro.obs' is now 'python -m repro report'; "
-          "this alias remains for one release", file=sys.stderr)
-    raise SystemExit(main())
+    print("error: 'python -m repro.obs' was removed in 1.5.0; "
+          "use 'python -m repro report'", file=sys.stderr)
+    raise SystemExit(2)

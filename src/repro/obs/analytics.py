@@ -199,6 +199,11 @@ def dedup_detections(
             mode_of[i] = mode.mode_id
     by_bug: Dict[str, List[int]] = {}
     for i, diagnosis in enumerate(diagnoses):
+        if diagnosis.propagated:
+            # a propagated diagnosis is a copy of its class
+            # representative's evidence, not an independent detection —
+            # counting it would inflate every representative-mode bug
+            continue
         for bug in diagnosis.matched_bugs:
             by_bug.setdefault(bug, []).append(i)
     out = [
@@ -540,6 +545,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
-    print("note: 'python -m repro.obs.analytics' is now 'python -m repro "
-          "analytics'; this alias remains for one release", file=sys.stderr)
-    sys.exit(main())
+    # the one-release deprecation window for this alias ended in 1.5.0
+    print("error: 'python -m repro.obs.analytics' was removed in 1.5.0; "
+          "use 'python -m repro analytics'", file=sys.stderr)
+    sys.exit(2)

@@ -218,6 +218,7 @@ def main(argv: List[str] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
-    print("note: 'python -m repro.obs.report' is now 'python -m repro "
-          "report'; this alias remains for one release", file=sys.stderr)
-    raise SystemExit(main())
+    # the one-release deprecation window for this alias ended in 1.5.0
+    print("error: 'python -m repro.obs.report' was removed in 1.5.0; "
+          "use 'python -m repro report'", file=sys.stderr)
+    raise SystemExit(2)

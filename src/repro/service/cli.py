@@ -76,6 +76,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         workers=args.campaign_workers,
         execution=args.execution,
         point_order=args.order,
+        point_select=args.select,
+        audit_fraction=args.audit_fraction,
     )
     client = ServiceClient(args.service_dir)
     job_id = client.submit(args.system, campaign, trace=args.trace,
@@ -227,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="replay")
     submit.add_argument("--order", choices=("point", "novelty"),
                         default="point")
+    submit.add_argument("--select", choices=("full", "representative"),
+                        default="full",
+                        help="CampaignConfig.point_select inside the job")
+    submit.add_argument("--audit-fraction", type=float, default=0.1)
     submit.add_argument("--trace", action="store_true",
                         help="export the job's JSONL trace")
     submit.add_argument("--job-id", default=None)

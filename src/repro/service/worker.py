@@ -69,6 +69,8 @@ def build_result(spec: JobSpec, result: CampaignResult,
         "execution": result.execution,
         "workers_realized": result.workers_realized,
         "point_order": result.point_order,
+        "point_select": result.point_select,
+        "classes": result.classes,
         "finished_at": time.time(),
     }
 

@@ -9,7 +9,9 @@ from repro.cluster.state import BUS, FieldKey, TrackedDict, TrackedList, Tracked
 from repro.core.analysis.logging_statements import LogStatement
 from repro.core.analysis.meta_graph import MetaInfoGraph, host_in_value
 from repro.core.analysis.patterns import PatternIndex, pattern_for
-from repro.core.injection import OnlineMetaStore
+from repro.core.analysis.static_points import AccessPoint
+from repro.core.injection import OnlineMetaStore, build_classes
+from repro.core.profiler import DynamicCrashPoint
 from repro.mtlog.logger import render
 from repro.sim import SimLoop, stable_hash
 
@@ -163,9 +165,68 @@ def test_host_in_value_never_false_positive_on_foreign_text(value, host):
     )
 
 
-@given(st.lists(st.tuples(vals, vals), min_size=1, max_size=15))
+# the "never node-referencing" guarantee needs values that cannot spell
+# a hostname — `vals` alone can generate the literal string "node1"
+_noise = vals.filter(lambda v: "node1" not in v)
+
+
+@given(st.lists(st.tuples(_noise, _noise), min_size=1, max_size=15))
 def test_store_is_insensitive_to_unrelated_noise(pairs):
     store = OnlineMetaStore(["node1"])
     for a, b in pairs:
         store.process([f"x-{a}", f"y-{b}"])  # never node-referencing
     assert store.size() == 0
+
+
+# ---------------------------------------------------------------------------
+# representative-execution class building is input-order independent
+# ---------------------------------------------------------------------------
+_fire = st.one_of(
+    st.just(("", "", -1.0, False)),          # profiled without a store
+    st.just(("", "none", -1.0, False)),      # no value resolved
+    st.tuples(hostnames, st.sampled_from(["shutdown", "crash"]),
+              st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+              st.booleans()),
+)
+
+
+@st.composite
+def _dpoints(draw):
+    specs = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5),
+                  st.sampled_from(["read", "write"]), _fire),
+        min_size=1, max_size=25))
+    out = []
+    for n, (slot, op, (target, kind, time, self_flag)) in enumerate(specs):
+        point = AccessPoint(
+            module=f"mod{slot}", lineno=10 + slot, field_cls=f"mod{slot}.Cls",
+            field_name=f"field{slot}", op=op, via="getfield",
+            enclosing=f"Cls.m{slot}",
+        )
+        out.append(DynamicCrashPoint(
+            point=point, stack=(f"mod{slot}.Cls.m{slot}:{20 + n % 3}",),
+            scale=1 + slot % 2, fire_target=target, fire_kind=kind,
+            fire_time=time, fire_self=self_flag,
+        ))
+    return out
+
+
+@given(_dpoints(), st.randoms(use_true_random=False),
+       st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=60)
+def test_build_classes_invariant_under_permutation(points, rng, fraction):
+    shuffled = list(points)
+    rng.shuffle(shuffled)
+    plan = build_classes(points, fraction)
+    other = build_classes(shuffled, fraction)
+    assert plan.digest() == other.digest()
+    # membership, representatives, and the audit draw all name the same
+    # points (indices differ with input order; keys must not)
+    def by_key(p, seq):
+        return {
+            "classes": {seq[i].key(): cls.class_id
+                        for cls in p.classes for i in cls.members},
+            "reps": {seq[i].key() for i in p.representatives},
+            "audited": {seq[i].key() for i in p.audited},
+        }
+    assert by_key(plan, points) == by_key(other, shuffled)

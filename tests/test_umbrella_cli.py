@@ -1,9 +1,11 @@
-"""``python -m repro`` is the front door; the old doors still open.
+"""``python -m repro`` is the front door; the old doors are now closed.
 
-The umbrella CLI must list every subcommand, pass arguments through to
-each tool's own parser, and keep the legacy module entry points working
-as aliases (with their pointer note on stderr, never stdout — CI pipes
-stdout into ``json.loads``).
+The umbrella CLI must list every subcommand and pass arguments through
+to each tool's own parser.  The legacy module entry points
+(``python -m repro.obs.report`` etc.) served one release as deprecated
+aliases and were removed in 1.5.0: they must fail fast with a pointer
+to the replacement on stderr, never stdout — CI pipes stdout into
+``json.loads``.
 """
 
 import json
@@ -111,10 +113,11 @@ def test_daemon_subcommand_round_trip(tmp_path):
 
 
 @pytest.mark.parametrize("module", LEGACY)
-def test_legacy_entry_point_still_works(module):
+def test_legacy_entry_point_is_removed(module):
     proc = run_module(module, "--help")
-    assert proc.returncode == 0, proc.stderr
-    assert "usage:" in proc.stdout
-    # the one-release pointer goes to stderr only — stdout is parsed by CI
+    assert proc.returncode == 2
+    # the tombstone points at the replacement on stderr only — stdout
+    # stays empty so a mis-piped invocation cannot half-work
+    assert "removed in 1.5.0" in proc.stderr
     assert "python -m repro " in proc.stderr
-    assert "note:" not in proc.stdout
+    assert proc.stdout == ""
