@@ -30,8 +30,11 @@ class Cluster:
         self.loop.obs = self.obs
         self.random = SimRandom(seed)
         self.network = Network(self)
-        self.log_collector = LogCollector()
         self.config: Dict[str, Any] = dict(config or {})
+        self.log_collector = LogCollector(
+            spill_threshold=self.config.get("log_spill_threshold"),
+            spill_dir=self.config.get("log_spill_dir"),
+        )
         self.nodes: Dict[str, Node] = {}
         # fault bookkeeping, read by oracles and tests
         self.crashes: List[Tuple[float, str]] = []

@@ -116,7 +116,11 @@ def build_classes(
         groups.setdefault(class_signature(dpoint), []).append(i)
 
     classes: List[PointClass] = []
-    pool: List[Tuple[int, str, int, int]] = []  # (rank, key, class#, index)
+    # (rank, key, class_id, class#, index) — class_id is the tiebreak when
+    # two classes hold equal-rank members with the very same point key
+    # (possible: key() ignores the fire_* prediction fields, the signature
+    # does not), so the audit cutoff never depends on input order
+    pool: List[Tuple[int, str, str, int, int]] = []
     for signature, members in groups.items():
         members = sorted(members, key=lambda i: points[i].key())
         class_id = hashlib.sha256(
@@ -130,15 +134,16 @@ def build_classes(
             audited=(),  # filled after the global draw
         ))
         for rank, index in enumerate(members[1:]):
-            pool.append((rank, repr(points[index].key()), len(classes) - 1, index))
+            pool.append((rank, repr(points[index].key()), class_id,
+                         len(classes) - 1, index))
 
-    pool.sort(key=lambda item: (item[0], item[1]))
+    pool.sort(key=lambda item: (item[0], item[1], item[2]))
     n_audit = (
         math.ceil(audit_fraction * len(pool))
         if pool and audit_fraction > 0 else 0
     )
     drawn: Dict[int, List[int]] = {}
-    for _, _, class_no, index in pool[:n_audit]:
+    for _, _, _, class_no, index in pool[:n_audit]:
         drawn.setdefault(class_no, []).append(index)
     for class_no, indices in drawn.items():
         cls = classes[class_no]

@@ -19,14 +19,18 @@ paper-faithful rendered-text path.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, MutableMapping, Optional, Sequence, Set
 
 from repro.core.analysis.log_analysis import SlotKey
-from repro.core.analysis.meta_graph import host_in_value
+from repro.core.analysis.meta_graph import HostMatcher
 from repro.core.analysis.patterns import PatternIndex, fast_lane_enabled
+from repro.core.injection.sharded_map import ShardedValueMap
 from repro.mtlog import LogCollector
 from repro.mtlog.records import LogRecord
 from repro.obs.context import get_obs
+
+#: cache-miss sentinel — ``None`` is a legitimate (and common) cached result
+_MISS = object()
 
 
 class OnlineMetaStore:
@@ -37,35 +41,59 @@ class OnlineMetaStore:
     values on entry, and :meth:`query` normalizes the probe it receives
     from the trigger.  Everything held in ``node_set`` / ``value_node``
     is therefore already normalized — no internal path re-strips.
+
+    Scale kernel (DESIGN.md): the host filter is memoized per store,
+    keyed on the normalized value — ``hosts`` is construction-fixed, so
+    the filter is a pure function of the value and heavy-traffic runs
+    that re-log the same ids by the thousand resolve them with one dict
+    probe.  ``value_node`` starts as a plain dict (seed-scale checkpoint
+    dicts stay byte-identical to the pre-sharding kernel) and converts to
+    a :class:`ShardedValueMap` past :data:`SHARD_THRESHOLD` entries.
     """
+
+    #: entry count past which ``value_node`` converts to the sharded map
+    SHARD_THRESHOLD = 4096
 
     def __init__(self, hosts: Sequence[str]):
         self.hosts = list(hosts)
         self.node_set: Set[str] = set()
-        self.value_node: Dict[str, str] = {}
+        self.value_node: MutableMapping[str, str] = {}
+        self._matcher = HostMatcher(self.hosts)
+        self._host_cache: Dict[str, Optional[str]] = {}
 
     @staticmethod
     def normalize(value: str) -> str:
         """The store's single normalization: strip surrounding whitespace."""
         return value.strip()
 
+    def _host_for(self, value: str) -> Optional[str]:
+        """Memoized host filter over an already-normalized value."""
+        cached = self._host_cache.get(value, _MISS)
+        if cached is not _MISS:
+            return cached
+        host = self._host_cache[value] = self._matcher(value)
+        return host
+
     def process(self, values: Iterable[str]) -> None:
         """Process one instance's meta-info values in FIFO order."""
         values = [v for v in (self.normalize(v) for v in values) if v]
+        value_node = self.value_node
         for value in values:
-            host = host_in_value(value, self.hosts)
+            host = self._host_for(value)
             if host is not None:
                 self.node_set.add(value)
-                self.value_node.setdefault(value, host)
+                value_node.setdefault(value, host)
         anchor: Optional[str] = None
         for value in values:
-            if value in self.value_node:
-                anchor = self.value_node[value]
+            anchor = value_node.get(value)
+            if anchor is not None:
                 break
         if anchor is None:
             return  # values unassociated to any node are discarded
         for value in values:
-            self.value_node.setdefault(value, anchor)
+            value_node.setdefault(value, anchor)
+        if type(value_node) is dict and len(value_node) > self.SHARD_THRESHOLD:
+            self.value_node = ShardedValueMap.from_flat(value_node)
 
     def query(self, value: str) -> Optional[str]:
         """The host to crash for a runtime meta-info value, if known."""
@@ -76,23 +104,35 @@ class OnlineMetaStore:
         # toString() forms often embed the node id directly
         # (DatanodeInfoWithStorage[node2:9866,...]): fall back to the same
         # host filter the node set uses.
-        return host_in_value(value, self.hosts)
+        return self._host_for(value)
 
     def size(self) -> int:
         return len(self.value_node)
 
     # Checkpointing -------------------------------------------------------
     def checkpoint(self) -> dict:
-        """Capture the store contents (hosts are construction-fixed)."""
+        """Capture the store contents (hosts are construction-fixed).
+
+        Always exports a flat dict, whatever the live representation —
+        checkpoint content must not depend on shard placement.
+        """
         return {
             "node_set": set(self.node_set),
             "value_node": dict(self.value_node),
         }
 
     def restore(self, checkpoint: dict) -> None:
-        """Reinstall contents captured with :meth:`checkpoint`."""
+        """Reinstall contents captured with :meth:`checkpoint`.
+
+        The host-filter memo survives: it is a pure function of the
+        construction-fixed hosts, not of store contents.
+        """
         self.node_set = set(checkpoint["node_set"])
-        self.value_node = dict(checkpoint["value_node"])
+        flat = dict(checkpoint["value_node"])
+        self.value_node = (
+            ShardedValueMap.from_flat(flat)
+            if len(flat) > self.SHARD_THRESHOLD else flat
+        )
 
 
 class OnlineLogAgent:

@@ -31,11 +31,23 @@ Process tree (one per group of same-scale points)::
          │             first matching access event it forks a holder and
          │             keeps simulating (the recording run never injects)
          ├─ holder     frozen world at point P's fire instant; blocks on
-         │  │          a command pipe; forks one resumer per command
+         │  │          a command FIFO; forks one resumer per command
          │  └─ resumer fires P's trigger against the inherited world and
          │             lets the already-in-flight run_workload() finish —
          │             the suffix — then ships the outcome to the parent
          └─ ...
+
+The holders are a **snapshot forest** over one timeline: every holder is
+a copy-on-write fork of the recorder at its point's fire instant, so a
+holder taken at t_k physically shares (as COW pages) the entire prefix
+that every earlier snapshot captured — points fork from the latest
+earlier world state rather than anyone re-simulating from t=0.  One
+recording pass per scale group therefore suffices for arbitrarily many
+points (scale kernel, DESIGN.md "Scale kernel"): command/result
+transport is named FIFOs on disk, opened by the parent only while a
+point is actually being driven, so parent fd usage is O(workers) and
+recorder fd usage is O(1) — no per-point pipe pairs, hence no chunk
+ceiling and no per-chunk re-recording of the shared prefix.
 
 The holder exists so one snapshot serves *multiple* resumes: a flagged
 hang is re-classified by resuming the *same* snapshot a second time with
@@ -63,9 +75,14 @@ mode never changes *what* is computed, only *how fast*.
 
 from __future__ import annotations
 
+import errno
+import fcntl
 import json
 import os
 import select
+import shutil
+import signal
+import tempfile
 import time as _wallclock
 from dataclasses import replace as _dc_replace
 from typing import Any, Dict, List, Optional, Tuple
@@ -85,10 +102,11 @@ from repro.core.injection.trigger import Trigger, point_matches
 from repro.obs import InjectionDiagnosis, Observability
 from repro.systems.base import run_workload
 
-#: points recorded per recording pass; each point holds two pipe pairs in
-#: the parent, so the chunk size bounds fd usage well under typical soft
-#: limits (4 fds/point + 2 for the recorder summary)
-CHUNK = 100
+#: how long the parent retries a FIFO rendezvous (a holder forked
+#: mid-recording microseconds away from its command-FIFO open) before it
+#: degrades the point to an in-process replay
+_ATTACH_RETRIES = 100
+_ATTACH_INTERVAL = 0.05
 
 #: set between fork and hook-return in a resumer child; empty everywhere
 #: else.  The recording pass's code below the hook checks it to learn
@@ -147,11 +165,18 @@ def _read_reply(fd: int, buf: bytearray) -> Dict[str, Any]:
 # per-point bookkeeping
 # ---------------------------------------------------------------------------
 class _ArmedPoint:
-    """One pending point's pipes, trigger, and in-flight protocol state."""
+    """One pending point's FIFOs, trigger, and in-flight protocol state.
+
+    The FIFO pair exists as paths from group setup; file descriptors on
+    them open lazily — the holder opens its command end at birth and its
+    result end at the first resume command, the parent opens both only
+    while this point is being driven.
+    """
 
     __slots__ = (
-        "index", "dpoint", "trigger", "recorded",
-        "cmd_r", "cmd_w", "res_r", "res_w", "res_buf", "first",
+        "index", "dpoint", "trigger", "recorded", "driven",
+        "cmd_path", "res_path", "cmd_fd", "res_fd", "res_w",
+        "res_buf", "first",
     )
 
     def __init__(self, index: int, dpoint: Any):
@@ -160,13 +185,79 @@ class _ArmedPoint:
         self.trigger: Optional[Trigger] = None
         #: a holder was forked for this point during the recording pass
         self.recorded = False
-        self.cmd_r: Optional[int] = None  # holder reads commands here
-        self.cmd_w: Optional[int] = None  # parent writes commands here
-        self.res_r: Optional[int] = None  # parent reads results here
-        self.res_w: Optional[int] = None  # resumer writes results here
+        #: the parent finished driving (or falling back) this point
+        self.driven = False
+        self.cmd_path = ""  # holder reads commands here
+        self.res_path = ""  # parent reads results here
+        self.cmd_fd: Optional[int] = None  # parent's open command end
+        self.res_fd: Optional[int] = None  # parent's open result end
+        self.res_w: Optional[int] = None  # holder/resumer's result end
         self.res_buf = bytearray()
         #: the first resume's reply, kept while a reclassify is in flight
         self.first: Optional[Dict[str, Any]] = None
+
+
+def _attach(entry: _ArmedPoint) -> bool:
+    """Open a holder's FIFOs from the parent; False degrades to replay.
+
+    Result end first (non-blocking read opens always succeed on a FIFO),
+    then the command end: a non-blocking write open succeeds exactly when
+    the holder is at — or blocked in — its read open, which on Linux
+    counts as a present reader, completing the rendezvous without either
+    side ever blocking indefinitely.  The short retry loop covers the
+    window between the holder's fork and its command-FIFO open.
+    """
+    try:
+        res_fd = os.open(entry.res_path, os.O_RDONLY | os.O_NONBLOCK)
+    except OSError:
+        return False
+    cmd_fd: Optional[int] = None
+    for _ in range(_ATTACH_RETRIES):
+        try:
+            cmd_fd = os.open(entry.cmd_path, os.O_WRONLY | os.O_NONBLOCK)
+            break
+        except OSError as exc:
+            if exc.errno != errno.ENXIO:
+                break
+            _wallclock.sleep(_ATTACH_INTERVAL)
+    if cmd_fd is None:
+        _close_quiet(res_fd)
+        return False
+    for fd in (res_fd, cmd_fd):  # back to blocking I/O for the protocol
+        flags = fcntl.fcntl(fd, fcntl.F_GETFL)
+        fcntl.fcntl(fd, fcntl.F_SETFL, flags & ~os.O_NONBLOCK)
+    entry.res_fd = res_fd
+    entry.cmd_fd = cmd_fd
+    return True
+
+
+def _dismiss(entry: _ArmedPoint, holder_pid: Optional[int]) -> None:
+    """Release an undriven holder: open-and-close its command FIFO.
+
+    The holder reads EOF and exits.  If the rendezvous never succeeds
+    (holder wedged before its open, or long gone) the holder is killed
+    outright so the recorder's reap loop — and the parent's waitpid on
+    the recorder — cannot hang on it.
+    """
+    for _ in range(_ATTACH_RETRIES):
+        try:
+            fd = os.open(entry.cmd_path, os.O_WRONLY | os.O_NONBLOCK)
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            if exc.errno != errno.ENXIO:
+                return
+            if holder_pid is None:
+                return
+            _wallclock.sleep(_ATTACH_INTERVAL)
+            continue
+        os.close(fd)
+        return
+    if holder_pid is not None:
+        try:
+            os.kill(holder_pid, signal.SIGKILL)
+        except OSError:
+            pass
 
 
 class _SnapshotWatcher:
@@ -185,6 +276,9 @@ class _SnapshotWatcher:
         self.state = state
         self.fire_order: List[int] = []
         self.manifests: Dict[int, Dict[str, Any]] = {}
+        #: point index -> holder pid, shipped to the parent so it can
+        #: reap a holder that never reached its FIFO rendezvous
+        self.holder_pids: Dict[int, int] = {}
         #: alias point index -> primary point index (same fire event, so
         #: a byte-identical suffix; only built when running unobserved)
         self.aliases: Dict[int, int] = {}
@@ -274,29 +368,25 @@ class _SnapshotWatcher:
         """Fork the holder; True only in a (grand)child resumer."""
         pid = os.fork()
         if pid != 0:
-            # recorder: the holder owns these pipe ends now
-            _close_quiet(entry.cmd_r)
-            entry.cmd_r = None
-            _close_quiet(entry.res_w)
-            entry.res_w = None
+            self.holder_pids[entry.index] = pid
             return False
-        # holder: drop every fd that is not ours, so the parent's
-        # close(cmd_w) reaches us as EOF and the recorder summary pipe
-        # sees EOF if the recorder dies
+        # holder: the only inherited fd not ours is the recorder summary
+        # pipe — drop it so the parent sees EOF if the recorder dies.
+        # Transport is by FIFO path from here on: the command end opens
+        # now (blocking until the parent attaches or dismisses), the
+        # result end on the first resume command, after which it stays
+        # open across resumes — the parent reads EOF exactly when this
+        # holder and its last resumer are gone.
         _close_quiet(self.rec_w)
         self.rec_w = None
-        for other in self.entries:
-            if other is entry:
-                continue
-            _close_quiet(other.cmd_r)
-            other.cmd_r = None
-            _close_quiet(other.res_w)
-            other.res_w = None
+        cmd_fd = os.open(entry.cmd_path, os.O_RDONLY)
         buf = bytearray()
         while True:
-            cmd = _read_json_fd(entry.cmd_r, buf)
+            cmd = _read_json_fd(cmd_fd, buf)
             if cmd is None:
                 os._exit(0)  # parent is done with this snapshot
+            if entry.res_w is None:
+                entry.res_w = os.open(entry.res_path, os.O_WRONLY)
             child = os.fork()
             if child == 0:
                 _ROLE["role"] = "resumer"
@@ -497,6 +587,7 @@ def _recorder_main(
         "fired": list(watcher.fire_order),
         "manifests": {str(i): m for i, m in watcher.manifests.items()},
         "aliases": {str(i): p for i, p in watcher.aliases.items()},
+        "holders": {str(i): p for i, p in watcher.holder_pids.items()},
     }
     if "unfired" in out:
         out["unfired"]["payload"] = payload
@@ -556,17 +647,16 @@ def run_snapshot(
     }
     results: Dict[int, Tuple[InjectionOutcome, List[Optional[Dict[str, Any]]]]] = {}
 
-    # one recording pass per same-scale chunk: scale changes the cluster
-    # size, so points of different scales cannot share a prefix
+    # one recording pass per scale group — scale changes the cluster
+    # size, so points of different scales cannot share a prefix; points
+    # of the same scale all snapshot off the single shared timeline
     groups: Dict[int, List[int]] = {}
     for index in pending:
         groups.setdefault(points[index].scale, []).append(index)
-    for indices in groups.values():
-        for start in range(0, len(indices), CHUNK):
-            chunk = indices[start:start + CHUNK]
-            entries = [_ArmedPoint(i, points[i]) for i in chunk]
-            _run_group(entries, points[chunk[0]].scale, state, workers,
-                       results, stats, journal, points)
+    for scale_value, indices in groups.items():
+        entries = [_ArmedPoint(i, points[i]) for i in indices]
+        _run_group(entries, scale_value, state, workers,
+                   results, stats, journal, points)
 
     # deterministic merge, same shape as executor._run_parallel
     reparent_to = (
@@ -607,32 +697,26 @@ def _run_group(
     points: List[Any],
 ) -> None:
     rec_r, rec_w = os.pipe()
+    fifo_dir = tempfile.mkdtemp(prefix="crashtuner-snap-")
     for entry in entries:
-        entry.cmd_r, entry.cmd_w = os.pipe()
-        entry.res_r, entry.res_w = os.pipe()
+        entry.cmd_path = os.path.join(fifo_dir, f"cmd-{entry.index}")
+        entry.res_path = os.path.join(fifo_dir, f"res-{entry.index}")
+        os.mkfifo(entry.cmd_path)
+        os.mkfifo(entry.res_path)
     recorder = os.fork()
     if recorder == 0:
         try:
             _close_quiet(rec_r)
-            for entry in entries:
-                _close_quiet(entry.cmd_w)
-                entry.cmd_w = None
-                _close_quiet(entry.res_r)
-                entry.res_r = None
             _recorder_main(entries, scale, rec_w, state)
         finally:
             os._exit(1)  # _recorder_main never returns normally
     _close_quiet(rec_w)
-    for entry in entries:
-        _close_quiet(entry.cmd_r)
-        entry.cmd_r = None
-        _close_quiet(entry.res_w)
-        entry.res_w = None
     stats["recording_runs"] += 1
+    holder_pids: Dict[int, int] = {}
     try:
         summary = _read_reply(rec_r, bytearray())
         if summary.get("status") != "ok":
-            # the recording pass itself failed: replay the whole chunk
+            # the recording pass itself failed: replay the whole group
             for entry in entries:
                 _finalize(entry, *_fallback_point(entry, state),
                           results=results, stats=stats, journal=journal,
@@ -641,13 +725,13 @@ def _run_group(
         stats["manifests"].update(summary.get("manifests", {}))
         fired = set(summary.get("fired", []))
         aliases = {int(i): p for i, p in summary.get("aliases", {}).items()}
+        holder_pids = {int(i): p for i, p in summary.get("holders", {}).items()}
         unfired = summary.get("unfired")
         for entry in entries:
             if entry.index in fired:
                 continue
             stats["never_fired"] += 1
-            _close_quiet(entry.cmd_w)
-            entry.cmd_w = None
+            entry.driven = True  # no holder: nothing to attach or dismiss
             outcome, payloads = _unfired_outcome(entry, unfired, state)
             _finalize(entry, outcome, payloads,
                       results=results, stats=stats, journal=journal)
@@ -660,8 +744,7 @@ def _run_group(
         for entry in entries:
             if entry.index not in aliases:
                 continue
-            _close_quiet(entry.cmd_w)
-            entry.cmd_w = None
+            entry.driven = True  # aliases never get holders of their own
             primary_outcome, primary_payloads = results[aliases[entry.index]]
             stats["aliased_points"] += 1
             _finalize(entry, _alias_outcome(primary_outcome, entry.dpoint),
@@ -669,12 +752,18 @@ def _run_group(
                       results=results, stats=stats, journal=journal)
     finally:
         for entry in entries:
-            _close_quiet(entry.cmd_w)
-            entry.cmd_w = None
-            _close_quiet(entry.res_r)
-            entry.res_r = None
+            _close_quiet(entry.cmd_fd)
+            entry.cmd_fd = None
+            _close_quiet(entry.res_fd)
+            entry.res_fd = None
+            if not entry.driven:
+                # releases the holder if one exists (it may even when the
+                # summary carried no pids — a recording pass that died
+                # mid-run forked holders first); ENXIO means none does
+                _dismiss(entry, holder_pids.get(entry.index))
         _close_quiet(rec_r)
         os.waitpid(recorder, 0)
+        shutil.rmtree(fifo_dir, ignore_errors=True)
 
 
 def _drive_holders(
@@ -685,15 +774,28 @@ def _drive_holders(
     stats: Dict[str, Any],
     journal: Any,
 ) -> None:
-    """Resume up to ``workers`` snapshots concurrently; collect as ready."""
+    """Resume up to ``workers`` snapshots concurrently; collect as ready.
+
+    FIFO ends open per point at dispatch and close at collection, so the
+    parent's fd footprint is 2 * inflight however many points the group
+    holds — this is what lets one recording pass serve thousands.
+    """
     queue = list(entries)
-    inflight: Dict[int, _ArmedPoint] = {}  # res_r fd -> entry
+    inflight: Dict[int, _ArmedPoint] = {}  # res_fd -> entry
     max_inflight = max(1, workers)
     while queue or inflight:
         while queue and len(inflight) < max_inflight:
             entry = queue.pop(0)
-            _write_json_fd(entry.cmd_w, {})
-            inflight[entry.res_r] = entry
+            if not _attach(entry):
+                entry.driven = True
+                _finalize(entry, *_fallback_point(entry, state),
+                          results=results, stats=stats, journal=journal,
+                          fallback=True)
+                continue
+            _write_json_fd(entry.cmd_fd, {})
+            inflight[entry.res_fd] = entry
+        if not inflight:
+            continue
         ready, _, _ = select.select(list(inflight), [], [])
         for fd in ready:
             entry = inflight[fd]
@@ -703,11 +805,14 @@ def _drive_holders(
                 # the extended deadline (Section 4.1.3's reclassification)
                 entry.first = reply
                 stats["reclassified"] += 1
-                _write_json_fd(entry.cmd_w, {"reclassify": True})
+                _write_json_fd(entry.cmd_fd, {"reclassify": True})
                 continue
             del inflight[fd]
-            _close_quiet(entry.cmd_w)
-            entry.cmd_w = None
+            _close_quiet(entry.cmd_fd)
+            entry.cmd_fd = None
+            _close_quiet(entry.res_fd)
+            entry.res_fd = None
+            entry.driven = True
             if entry.first is not None:
                 if reply.get("status") != "ok":
                     _finalize(entry, *_fallback_point(entry, state),

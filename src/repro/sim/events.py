@@ -28,7 +28,8 @@ class Event:
             used by traces and tests.
     """
 
-    __slots__ = ("time", "seq", "callback", "owner", "kind", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "owner", "kind", "_cancelled",
+                 "_loop", "_in_loop", "_in_batch")
 
     def __init__(
         self,
@@ -43,10 +44,26 @@ class Event:
         self.owner = owner
         self.kind = kind
         self._cancelled = False
+        # Tombstone accounting backref: the owning SimLoop sets these at
+        # schedule time so cancel() can report "a tombstone now sits in
+        # your queue" without the loop scanning for it.  `_in_loop` is
+        # True only while the event sits in a loop structure awaiting
+        # dispatch (cleared on pop), so cancelling an already-fired timer
+        # never skews the count.  `_in_batch` is True only between the pop
+        # into the same-instant dispatch batch and the fire/discard/flush
+        # — together the two flags say "still pending somewhere", which
+        # the per-owner cancel index relies on.
+        self._loop = None
+        self._in_loop = False
+        self._in_batch = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._in_loop and self._loop is not None:
+            self._loop._note_cancelled()
 
     def clone(self) -> "Event":
         """A detached copy sharing the callback but nothing mutable.
@@ -54,7 +71,9 @@ class Event:
         The copy keeps the original ``seq`` (so a restored queue replays
         in the exact original order) and does **not** consume the global
         sequence counter — cloning a queue for a checkpoint must not
-        perturb the ordering of events scheduled afterwards.
+        perturb the ordering of events scheduled afterwards.  Clones are
+        detached from any loop; :meth:`SimLoop.restore` re-attaches the
+        clones it enqueues.
         """
         event = Event.__new__(Event)
         event.time = self.time
@@ -63,6 +82,9 @@ class Event:
         event.owner = self.owner
         event.kind = self.kind
         event._cancelled = self._cancelled
+        event._loop = None
+        event._in_loop = False
+        event._in_batch = False
         return event
 
     @property

@@ -1,8 +1,8 @@
 """The discrete-event simulation loop.
 
 :class:`SimLoop` is the single source of time for a simulated cluster.  It
-holds a priority queue of :class:`~repro.sim.events.Event` objects and runs
-each event's callback to completion, in ``(time, seq)`` order, which makes
+holds pending :class:`~repro.sim.events.Event` objects and runs each
+event's callback to completion, in ``(time, seq)`` order, which makes
 every run deterministic.
 
 Two driving modes exist:
@@ -16,6 +16,42 @@ Two driving modes exist:
   equivalent is to pump the loop for a bounded simulated duration from
   inside the currently-running handler, then resume it.
 
+Scale-kernel layout (see DESIGN.md "Scale kernel"): pending events live in
+three structures that together form one totally-ordered queue.
+
+* ``_tail`` — a deque for the common *monotonic* schedule: most callers
+  schedule at or after the latest already-scheduled time (periodic timers,
+  message delivery with a FIFO floor), so the append lands at the tail in
+  O(1) instead of an O(log n) heap sift.  The tail is always sorted by
+  ``(time, seq)`` by construction.
+* ``_queue`` — a binary heap holding the out-of-order remainder (schedules
+  that land before the current tail end).  Entries are ``(time, seq,
+  event)`` triples, so every heap sift compares plain tuples at C speed —
+  ``seq`` is globally unique, so the comparison never reaches the event —
+  instead of calling ``Event.__lt__`` in the interpreter millions of times
+  per heavy-traffic run.
+* ``_batch`` — the same-instant run currently being dispatched.  The
+  drivers pop the full run of events sharing the earliest timestamp in one
+  refill, then fire from the batch with no per-event tail-vs-heap
+  comparison.  The batch is loop state (not a ``run()`` local) so the
+  reentrant :meth:`pump` — and checkpoints taken mid-handler — see the
+  not-yet-fired members.
+
+Cancelled events are tombstones: they stay in place and are skipped when
+they surface.  Each loop counts its tombstones (events notify the loop via
+a backref when cancelled while queued) and compacts all structures once
+tombstones pass :data:`SimLoop.COMPACT_MIN` *and* outnumber half the
+pending events, so a long run that cancels millions of timers keeps pop
+cost flat without re-heapifying on every cancel.
+
+Bulk cancellation (:meth:`SimLoop.cancel_owned_by`, fired on every node
+crash or shutdown) is driven by a per-owner index instead of a full queue
+scan: ``_owned`` maps each owner to the events it scheduled, appended at
+enqueue time and pruned of already-fired entries amortised-O(1) as the
+list regrows.  A 100x world tears down tens of thousands of short-lived
+ApplicationMaster nodes; scanning the whole heap for each would be
+quadratic in practice.
+
 Exception policy: callbacks that raise :class:`NodeCrashedError` are
 treated as expected teardown (the handler's node was crashed mid-flight by
 injection).  Any other exception is passed to the loop's ``crash_handler``
@@ -27,8 +63,10 @@ the kernel itself.
 from __future__ import annotations
 
 import heapq
+import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NodeCrashedError, SimulationError
 from repro.obs.context import NULL_OBS, Observability
@@ -44,10 +82,12 @@ class LoopCheckpoint:
     """Frozen kernel state of a :class:`SimLoop` at one instant.
 
     Holds the clock, the processed-event counter, and a detached clone of
-    the event queue (callback references shared, mutable flags copied —
-    see :meth:`Event.clone`).  The checkpoint itself is never mutated by
-    :meth:`SimLoop.restore`, so one checkpoint supports any number of
-    restores.
+    every pending event (callback references shared, mutable flags copied
+    — see :meth:`Event.clone`).  The events tuple concatenates the loop's
+    batch, tail, and heap segments; it is not itself heap-ordered, and
+    :meth:`SimLoop.restore` re-heapifies.  The checkpoint itself is never
+    mutated by :meth:`SimLoop.restore`, so one checkpoint supports any
+    number of restores.
 
     Scope note (the snapshot execution mode's determinism argument, see
     DESIGN.md): a checkpoint restores the *kernel's* state exactly, but
@@ -62,7 +102,7 @@ class LoopCheckpoint:
 
     now: float
     events_processed: int
-    events: tuple  # Tuple[Event, ...], a valid heap (same sort keys)
+    events: tuple  # Tuple[Event, ...], pending clones (any order)
 
     def pending(self) -> int:
         """Live (non-cancelled) events captured in this checkpoint."""
@@ -83,8 +123,24 @@ class SimLoop:
     #: hard cap on pump() reentrancy to catch accidental recursion
     MAX_PUMP_DEPTH = 8
 
+    #: tombstone floor below which compaction never runs — seed-sized
+    #: workloads (a few hundred events) never compact, so their dispatch
+    #: order is trivially byte-identical to the pre-compaction kernel
+    COMPACT_MIN = 512
+
+    #: owner-index list length at which fired entries are pruned; a fresh
+    #: prune threshold doubles with the surviving count, so maintenance
+    #: stays amortised O(1) per schedule
+    OWNED_PRUNE_MIN = 32
+
     def __init__(self) -> None:
-        self._queue: List[Event] = []
+        # heap of (time, seq, event): tuple comparison stays in C
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._tail: Deque[Event] = deque()
+        self._batch: Deque[Event] = deque()
+        self._owned: Dict[str, List[Event]] = {}
+        self._owned_limit: Dict[str, int] = {}
+        self._tombstones = 0
         self._now = 0.0
         self._events_processed = 0
         self._pump_depth = 0
@@ -131,9 +187,7 @@ class SimLoop:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        event = Event(self._now + delay, callback, owner=owner, kind=kind)
-        heapq.heappush(self._queue, event)
-        return event
+        return self._enqueue(Event(self._now + delay, callback, owner=owner, kind=kind))
 
     def schedule_at(
         self,
@@ -145,22 +199,69 @@ class SimLoop:
         """Schedule ``callback`` at an absolute simulated time."""
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
-        event = Event(time, callback, owner=owner, kind=kind)
-        heapq.heappush(self._queue, event)
+        return self._enqueue(Event(time, callback, owner=owner, kind=kind))
+
+    def _enqueue(self, event: Event) -> Event:
+        event._loop = self
+        event._in_loop = True
+        if event.owner is not None:
+            self._note_owned(event)
+        tail = self._tail
+        # monotonic fast path: seq is globally increasing, so an event at
+        # or after the current tail end extends the sorted tail in O(1)
+        if not tail or event.time >= tail[-1].time:
+            tail.append(event)
+        else:
+            heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
+
+    def _note_owned(self, event: Event) -> None:
+        """Register an owned event for :meth:`cancel_owned_by`.
+
+        Fired events linger in the owner's list until the list regrows
+        past its prune threshold; the threshold doubles with the surviving
+        count, so the occasional O(len) sweep amortises to O(1) per
+        schedule and the list never exceeds ~2x the owner's live events.
+        """
+        owner = event.owner
+        lst = self._owned.get(owner)
+        if lst is None:
+            self._owned[owner] = [event]
+            return
+        lst.append(event)
+        if len(lst) >= self._owned_limit.get(owner, self.OWNED_PRUNE_MIN):
+            live = [e for e in lst if e._in_loop or e._in_batch]
+            self._owned[owner] = live
+            self._owned_limit[owner] = max(self.OWNED_PRUNE_MIN, 2 * len(live))
 
     def cancel_owned_by(self, owner: str) -> int:
         """Cancel every pending event whose owner matches.  Returns count."""
         cancelled = 0
-        for event in self._queue:
-            if event.owner == owner and not event.cancelled:
-                event.cancel()
+        events = self._owned.pop(owner, None)
+        self._owned_limit.pop(owner, None)
+        if events:
+            for event in events:
+                # the index holds everything the owner ever scheduled;
+                # skip already-fired entries and mark the rest directly
+                # (not event.cancel()) so one compaction check runs after
+                # the sweep instead of per event
+                if event._cancelled or not (event._in_loop or event._in_batch):
+                    continue
+                event._cancelled = True
+                if event._in_loop:
+                    self._tombstones += 1
                 cancelled += 1
+        self._maybe_compact()
         return cancelled
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        live = sum(
+            1
+            for e in itertools.chain(self._batch, self._tail)
+            if not e._cancelled
+        )
+        return live + sum(1 for _, _, e in self._queue if not e._cancelled)
 
     def stop(self) -> None:
         """Ask the outermost :meth:`run` to return after the current event."""
@@ -182,6 +283,114 @@ class SimLoop:
         self._deadline_override = until
 
     # ------------------------------------------------------------------
+    # tombstone accounting and compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event sits queued."""
+        self._tombstones += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        t = self._tombstones
+        if t >= self.COMPACT_MIN and 2 * t >= len(self._queue) + len(self._tail):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone from the heap and tail in one pass.
+
+        Does not touch the batch: its members were already popped for
+        dispatch and are discarded by the drivers' fire-time check.
+        """
+        live: List[Tuple[float, int, Event]] = []
+        for entry in self._queue:
+            if entry[2]._cancelled:
+                entry[2]._in_loop = False
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._queue = live
+        if any(e._cancelled for e in self._tail):
+            kept: Deque[Event] = deque()
+            for e in self._tail:
+                if e._cancelled:
+                    e._in_loop = False
+                else:
+                    kept.append(e)
+            self._tail = kept
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------
+    # dispatch core: merged pop over (batch, tail, heap)
+    # ------------------------------------------------------------------
+    def _peek_live(self) -> Optional[Event]:
+        """Earliest live event across tail and heap, purging tombstones."""
+        queue = self._queue
+        while queue and queue[0][2]._cancelled:
+            heapq.heappop(queue)[2]._in_loop = False
+            self._tombstones -= 1
+        tail = self._tail
+        while tail and tail[0]._cancelled:
+            e = tail.popleft()
+            e._in_loop = False
+            self._tombstones -= 1
+        if queue:
+            head = queue[0]
+            if tail:
+                te = tail[0]
+                if te.time < head[0] or (te.time == head[0] and te.seq < head[1]):
+                    return te
+            return head[2]
+        return tail[0] if tail else None
+
+    def _pop_live(self, event: Event) -> Event:
+        """Remove ``event`` — the current :meth:`_peek_live` head."""
+        queue = self._queue
+        if queue and queue[0][2] is event:
+            heapq.heappop(queue)
+        else:
+            self._tail.popleft()
+        event._in_loop = False
+        event._in_batch = True
+        return event
+
+    def _refill_batch(self) -> bool:
+        """Pop the next same-instant run into the batch.  False if empty."""
+        first = self._peek_live()
+        if first is None:
+            return False
+        batch = self._batch
+        batch.append(self._pop_live(first))
+        t = first.time
+        while True:
+            nxt = self._peek_live()
+            if nxt is None or nxt.time != t:
+                return True
+            batch.append(self._pop_live(nxt))
+
+    def _flush_batch(self) -> None:
+        """Return un-fired batch members to the heap.
+
+        Every exit from :meth:`run` and :meth:`pump` flushes, so the batch
+        never outlives the drive that popped it: a refill can pop a run
+        that sits beyond the driving deadline (or a pump can be cut short
+        mid-instant), and events scheduled *after* the drive returns may
+        legitimately precede those leftovers.  Flushing re-merges them; a
+        later refill re-pops them in the identical (time, seq) order.
+        Cancelled members are dropped outright (they were already counted
+        out of the tombstone tally when popped).
+        """
+        batch = self._batch
+        if not batch:
+            return
+        queue = self._queue
+        while batch:
+            e = batch.pop()
+            e._in_batch = False
+            if not e._cancelled:
+                e._in_loop = True
+                heapq.heappush(queue, (e.time, e.seq, e))
+
+    # ------------------------------------------------------------------
     # checkpoint / restore (kernel state only — see LoopCheckpoint)
     # ------------------------------------------------------------------
     def checkpoint(self) -> LoopCheckpoint:
@@ -189,7 +398,13 @@ class SimLoop:
         return LoopCheckpoint(
             now=self._now,
             events_processed=self._events_processed,
-            events=tuple(e.clone() for e in self._queue),
+            events=tuple(
+                e.clone()
+                for e in itertools.chain(
+                    self._batch, self._tail,
+                    (entry[2] for entry in self._queue),
+                )
+            ),
         )
 
     def restore(self, checkpoint: LoopCheckpoint) -> None:
@@ -202,8 +417,25 @@ class SimLoop:
         """
         if self._pump_depth or self._in_handler:
             raise SimulationError("cannot restore inside a running handler")
-        self._queue = [e.clone() for e in checkpoint.events]
-        heapq.heapify(self._queue)  # clones share sort keys: cheap no-op pass
+        entries: List[Tuple[float, int, Event]] = []
+        owned: Dict[str, List[Event]] = {}
+        tombstones = 0
+        for cp_event in checkpoint.events:
+            e = cp_event.clone()
+            e._loop = self
+            e._in_loop = True
+            if e._cancelled:
+                tombstones += 1
+            if e.owner is not None:
+                owned.setdefault(e.owner, []).append(e)
+            entries.append((e.time, e.seq, e))
+        heapq.heapify(entries)
+        self._queue = entries
+        self._tail = deque()
+        self._batch = deque()
+        self._owned = owned
+        self._owned_limit = {}
+        self._tombstones = tombstones
         self._now = checkpoint.now
         self._events_processed = checkpoint.events_processed
         self._stopped = False
@@ -231,21 +463,28 @@ class SimLoop:
         self._stopped = False
         processed = 0
         stopped_by_predicate = False
+        batch = self._batch
         try:
-            while self._queue and not self._stopped:
+            while not self._stopped:
+                if not batch and not self._queue and not self._tail:
+                    break
                 if self._deadline_override is not None:
                     # consumed by the innermost run in flight (see
                     # override_deadline): from here on this run behaves as
                     # if it had been called with the overriding deadline
                     until = self._deadline_override
                     self._deadline_override = None
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+                if not batch and not self._refill_batch():
+                    break
+                event = batch[0]
+                if event._cancelled:
+                    batch.popleft()
+                    event._in_batch = False
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
+                batch.popleft()
+                event._in_batch = False
                 self._fire(event)
                 processed += 1
                 if processed > max_events:
@@ -264,6 +503,7 @@ class SimLoop:
             ):
                 self._now = until
         finally:
+            self._flush_batch()
             # an override aimed at this run but set too late to be consumed
             # (the run ended at that very event) must not leak into the
             # next run
@@ -275,7 +515,10 @@ class SimLoop:
         Used by the injection trigger to model a blocking wait inside a
         handler: events scheduled by other "threads" (the shutdown
         handshake of the target node) are delivered while the current
-        handler is paused, then control returns to it.
+        handler is paused, then control returns to it.  Shares the
+        same-instant batch with the interrupted :meth:`run`, so events the
+        outer driver had already popped for dispatch are still delivered
+        in order if they fall inside the pump window.
         """
         if duration < 0:
             raise SimulationError(f"negative pump duration {duration!r}")
@@ -285,14 +528,19 @@ class SimLoop:
         try:
             deadline = self._now + duration
             processed = 0
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            batch = self._batch
+            while True:
+                if not batch and not self._refill_batch():
+                    break
+                event = batch[0]
+                if event._cancelled:
+                    batch.popleft()
+                    event._in_batch = False
                     continue
                 if event.time > deadline:
                     break
-                heapq.heappop(self._queue)
+                batch.popleft()
+                event._in_batch = False
                 self._fire(event)
                 processed += 1
                 if processed > max_events:
@@ -300,6 +548,7 @@ class SimLoop:
             if self._now < deadline:
                 self._now = deadline
         finally:
+            self._flush_batch()
             self._pump_depth -= 1
 
     # ------------------------------------------------------------------
@@ -326,7 +575,9 @@ class SimLoop:
                 )
             self._events_counter.inc()
             kind_counter.inc()
-            self._queue_depth_histogram.observe(len(self._queue))
+            self._queue_depth_histogram.observe(
+                len(self._queue) + len(self._tail) + len(self._batch)
+            )
         self._in_handler += 1
         try:
             event.callback()

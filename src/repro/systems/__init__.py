@@ -25,13 +25,26 @@ def all_systems():
     ]
 
 
-def get_system(name: str) -> SystemUnderTest:
-    """Look one system up by its short name ("yarn", "hdfs", ...)."""
+def get_system(name: str, world_scale: int = 1) -> SystemUnderTest:
+    """Look one system up by its short name ("yarn", "hdfs", ...).
+
+    ``world_scale`` requests a heavy-traffic world (DESIGN.md "Scale
+    kernel"): more nodes, quadratically more jobs/rows.  Supported by
+    yarn and hbase; other systems reject a scale above 1.
+    """
     from repro.systems.kube.system import KubeSystem
 
     for system in all_systems() + [KubeSystem()]:
         if system.name == name:
-            return system
+            if world_scale == 1:
+                return system
+            try:
+                return type(system)(world_scale=world_scale)
+            except TypeError:
+                raise ValueError(
+                    f"system {name!r} has no heavy-traffic generator "
+                    f"(world_scale is supported by yarn and hbase)"
+                ) from None
     raise KeyError(f"unknown system {name!r}")
 
 

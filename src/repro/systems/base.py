@@ -14,6 +14,7 @@ workload, run to completion or deadline, return a :class:`RunReport`.
 from __future__ import annotations
 
 import abc
+import gc
 import time as _wallclock
 from dataclasses import dataclass, field
 from types import ModuleType
@@ -22,6 +23,17 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.cluster import Cluster
 from repro.mtlog import LogCollector
 from repro.obs.context import get_obs
+
+
+#: world_scale at which run_workload pauses the cyclic garbage collector
+#: for the duration of one run (DESIGN.md "Scale kernel").  A heavy world
+#: keeps hundreds of thousands of log records and pending events live, and
+#: automatic collections rescan all of them on every threshold crossing —
+#: at 100x that is the single largest per-event cost.  The kernel's churn
+#: (events, messages, spilled records) is acyclic and freed by refcounting,
+#: so pausing cycle detection changes no observable behaviour; collection
+#: resumes (and any cyclic garbage is swept) as soon as the run returns.
+GC_PAUSE_WORLD_SCALE = 10
 
 
 class Workload(abc.ABC):
@@ -55,6 +67,10 @@ class SystemUnderTest(abc.ABC):
     version: str = "0.0.0-SNAPSHOT"
     #: display workload name, mirroring Table 4's "Workload" column
     workload_name: str = "workload"
+    #: heavy-traffic multiplier (DESIGN.md "Scale kernel"): 1 is the seed
+    #: world; systems with generators (yarn, hbase) accept it in their
+    #: constructor and widen the cluster / square the offered load
+    world_scale: int = 1
 
     @abc.abstractmethod
     def build(self, seed: int = 0, config: Optional[Dict[str, Any]] = None) -> Cluster:
@@ -134,6 +150,29 @@ def run_workload(
     """
     if deadline is None:
         deadline = system.base_runtime() * deadline_factor * max(1, scale)
+    pause_gc = system.world_scale >= GC_PAUSE_WORLD_SCALE and gc.isenabled()
+    if pause_gc:
+        gc.disable()
+    try:
+        return _run_workload(
+            system, seed, config, scale, deadline, before_run, keep_cluster,
+            cooldown,
+        )
+    finally:
+        if pause_gc:
+            gc.enable()
+
+
+def _run_workload(
+    system: SystemUnderTest,
+    seed: int,
+    config: Optional[Dict[str, Any]],
+    scale: int,
+    deadline: float,
+    before_run: Optional[Callable[[Cluster, Workload], None]],
+    keep_cluster: bool,
+    cooldown: float,
+) -> RunReport:
     wall_start = _wallclock.perf_counter()
     cluster = system.build(seed=seed, config=config)
     workload = system.create_workload(scale)

@@ -24,15 +24,22 @@ class HBaseClient(Node):
     op_status: Dict[str, str] = tracked_dict()  # row -> PUT/VERIFIED/FAILED
 
     def __init__(self, cluster, name, master: str = "hmaster", num_rows: int = 8,
-                 rolling_stop: str = "node3", **kwargs):
+                 rolling_stop: str = "node3", put_interval: float = 0.05, **kwargs):
         super().__init__(cluster, name, **kwargs)
         self.master = master
         self.num_rows = num_rows
         self.rolling_stop = rolling_stop
+        self.put_interval = put_interval
         self.phase = 1  # 1 = initial PE pass, 2 = re-verify after rolling stop
         self.web_responses = 0
         self._assignments: List[Tuple[RegionInfo, ServerName]] = []
         self._retries: Dict[str, int] = {}
+        # O(1) status accounting mirrored on every op_status write, so the
+        # workload's per-event stop predicate and the roll check never
+        # rescan tens of thousands of row statuses.
+        self.status_rows = 0
+        self.verified_rows = 0
+        self.failed_rows = 0
         # PE keeps hammering a stuck region for a long time (the paper's
         # HBase timeout issue needs the workload to outlive the 10-minute
         # assignment chore, not fail fast).
@@ -51,16 +58,34 @@ class HBaseClient(Node):
     def _locate(self) -> None:
         self.send(self.master, "locate_regions")
 
+    def _set_status(self, row: str, status: str) -> None:
+        """Write a row's status through the tracked map, keeping counts.
+
+        The tracked ``put`` (and its access-event emission) is unchanged;
+        the counters ride on its returned previous value.
+        """
+        old = self.op_status.put(row, status)
+        if old is None:
+            self.status_rows += 1
+        elif old == "VERIFIED":
+            self.verified_rows -= 1
+        elif old == "FAILED":
+            self.failed_rows -= 1
+        if status == "VERIFIED":
+            self.verified_rows += 1
+        elif status == "FAILED":
+            self.failed_rows += 1
+
     def on_region_map(self, src: str, assignments: List[Tuple[RegionInfo, ServerName]]) -> None:
         if not assignments:
             self.set_timer(0.5, self._locate)
             return
         self._assignments = sorted(assignments, key=lambda a: str(a[0]))
-        if not self.op_status.snapshot():
+        if self.status_rows == 0:
             for i in range(self.num_rows):
                 row = f"row{i:04d}"
-                self.op_status.put(row, "PUTTING")
-                self.set_timer(0.05 * i, self._put, row)
+                self._set_status(row, "PUTTING")
+                self.set_timer(self.put_interval * i, self._put, row)
 
     def _region_for(self, row: str) -> Optional[Tuple[RegionInfo, ServerName]]:
         if not self._assignments:
@@ -83,7 +108,7 @@ class HBaseClient(Node):
     def on_put_ok(self, src: str, row: str) -> None:
         if self.op_status.get(row) != "PUTTING":
             return
-        self.op_status.put(row, "GETTING")
+        self._set_status(row, "GETTING")
         placement = self._region_for(row)
         if placement is None or placement[1] is None:
             self._retry(row, "no region map")
@@ -97,7 +122,7 @@ class HBaseClient(Node):
         if value != f"value-{row}":
             self._retry(row, f"wrong value {value!r}")
             return
-        self.op_status.put(row, "VERIFIED")
+        self._set_status(row, "VERIFIED")
         self._maybe_roll()
 
     def _maybe_roll(self) -> None:
@@ -106,10 +131,7 @@ class HBaseClient(Node):
         exercises the ServerCrashProcedure in every clean run."""
         if self.phase != 1:
             return
-        statuses = self.op_status.snapshot()
-        if len(statuses) < self.num_rows or not all(
-            s == "VERIFIED" for s in statuses.values()
-        ):
+        if self.status_rows < self.num_rows or self.verified_rows != self.status_rows:
             return
         self.phase = 1.5
         LOG.info("PE pass 1 done; rolling restart of {}", self.rolling_stop)
@@ -120,8 +142,8 @@ class HBaseClient(Node):
         self._retries.clear()
         self._locate()
         for i, row in enumerate(sorted(self.op_status.snapshot())):
-            self.op_status.put(row, "PUTTING")
-            self.set_timer(0.3 + 0.02 * i, self._put, row)
+            self._set_status(row, "PUTTING")
+            self.set_timer(0.3 + 0.4 * self.put_interval * i, self._put, row)
         self.phase = 2
 
     def on_op_error(self, src: str, row: str, reason: str) -> None:
@@ -138,11 +160,11 @@ class HBaseClient(Node):
         retries = self._retries.get(row, 0) + 1
         self._retries[row] = retries
         if retries > self._retry_limit:
-            self.op_status.put(row, "FAILED")
+            self._set_status(row, "FAILED")
             LOG.error("PE op for {} failed permanently: {}", row, why)
             return
         LOG.warn("Retrying PE op for {} ({}); relocating regions", row, why)
-        self.op_status.put(row, "PUTTING")
+        self._set_status(row, "PUTTING")
         self._locate()
         self.set_timer(2.0, self._put, row)
 
@@ -152,32 +174,35 @@ class PEWorkload(Workload):
 
     name = "PE+curl"
 
-    def __init__(self, num_rows: int = 8):
+    def __init__(self, num_rows: int = 8, put_interval: float = 0.05):
         self.num_rows = num_rows
+        self.put_interval = put_interval
         self._client: Optional[HBaseClient] = None
 
     def install(self, cluster: Cluster) -> None:
-        self._client = HBaseClient(cluster, "client", num_rows=self.num_rows)
+        self._client = HBaseClient(cluster, "client", num_rows=self.num_rows,
+                                   put_interval=self.put_interval)
 
     def _statuses(self) -> Dict[str, str]:
         assert self._client is not None
         return self._client.op_status.snapshot()
 
     def finished(self, cluster: Cluster) -> bool:
-        assert self._client is not None
-        statuses = self._statuses()
-        if len(statuses) < self.num_rows:
+        # The per-event stop predicate: reads the client's O(1) status
+        # counters instead of snapshotting every row status per event.
+        client = self._client
+        assert client is not None
+        if client.status_rows < self.num_rows:
             return False
-        if any(s == "FAILED" for s in statuses.values()):
+        if client.failed_rows > 0:
             return True
-        return self._client.phase == 2 and all(
-            s == "VERIFIED" for s in statuses.values()
-        )
+        return client.phase == 2 and client.verified_rows == client.status_rows
 
     def succeeded(self, cluster: Cluster) -> bool:
-        return self.finished(cluster) and all(
-            s == "VERIFIED" for s in self._statuses().values()
-        )
+        client = self._client
+        assert client is not None
+        return (self.finished(cluster) and client.failed_rows == 0
+                and client.verified_rows == client.status_rows)
 
     def failures(self, cluster: Cluster) -> List[str]:
         statuses = self._statuses()

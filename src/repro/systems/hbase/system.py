@@ -19,25 +19,36 @@ from repro.systems.zookeeper.server import ZKServer
 
 
 class HBaseSystem(SystemUnderTest):
-    """Distributed key-value store HBase."""
+    """Distributed key-value store HBase.
+
+    ``world_scale`` is the heavy-traffic knob (DESIGN.md "Scale kernel"):
+    it multiplies the region servers (and the master's user regions) and
+    squares into the PE row count, so per-server load stays constant
+    while total traffic grows quadratically.  ``world_scale=1`` is
+    byte-identical to the pre-knob system.
+    """
 
     name = "hbase"
     version = "3.0.0-SNAPSHOT"
     workload_name = "PE+curl"
 
-    def __init__(self, num_regionservers: int = 3):
+    def __init__(self, num_regionservers: int = 3, world_scale: int = 1):
         self.num_regionservers = num_regionservers
+        self.world_scale = max(1, int(world_scale))
 
     def build(self, seed: int = 0, config: Optional[Dict[str, Any]] = None) -> Cluster:
         cluster = Cluster("hbase", seed=seed, config=config)
         ZKServer(cluster, "zk1", sid=1, peers=["zk1"])
-        HMaster(cluster, "hmaster")
-        for i in range(1, self.num_regionservers + 1):
+        HMaster(cluster, "hmaster", num_user_regions=4 * self.world_scale)
+        for i in range(1, self.num_regionservers * self.world_scale + 1):
             RegionServer(cluster, f"node{i}")
         return cluster
 
     def create_workload(self, scale: int = 1) -> Workload:
-        return PEWorkload(num_rows=8 * scale)
+        rows = 8 * scale * self.world_scale * self.world_scale
+        # Tighten the per-row submission stagger once the row count would
+        # stretch the PE pass past ~20 sim-seconds (seed stagger: 0.05).
+        return PEWorkload(num_rows=rows, put_interval=min(0.05, 20.0 / rows))
 
     def source_modules(self) -> List[ModuleType]:
         from repro.systems.hbase import client, master, regionserver
@@ -45,4 +56,7 @@ class HBaseSystem(SystemUnderTest):
         return [master, regionserver, client]
 
     def base_runtime(self) -> float:
-        return 6.0
+        # Seed: 6.0.  A scaled world adds both PE passes' staggered
+        # submission windows (pass 2 staggers at 0.4x the pass-1 rate).
+        rows = 8 * self.world_scale * self.world_scale
+        return 6.0 + 1.4 * (min(0.05 * rows, 20.0) - 0.4)

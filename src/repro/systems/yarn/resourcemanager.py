@@ -36,7 +36,8 @@ Bug sites seeded here (see ``repro.bugs.catalog`` for the full records):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster import LivenessMonitor, Node, tracked_dict, tracked_list
 from repro.cluster.ids import (
@@ -58,6 +59,13 @@ from repro.systems.yarn.records import (
 )
 
 LOG = get_logger("yarn.resourcemanager")
+
+#: Above this many NodeManagers the RM switches its O(nodes)-per-decision
+#: paths (scheduler min-scan, cleanup broadcast, web app listing) to the
+#: indexed equivalents.  Seed-scale clusters stay far below it, so their
+#: tracked-access sequences — and therefore their crash-point profiles —
+#: are byte-identical to the pre-index RM (DESIGN.md "Scale kernel").
+SCHED_SCAN_MAX = 64
 
 
 class Ask:
@@ -95,6 +103,20 @@ class ResourceManager(Node):
         self._app_seq = 0
         self._container_seq: Dict[ApplicationAttemptId, int] = {}
         self._pending_asks: List[Ask] = []
+        # --- scale kernel: untracked scheduler index ------------------
+        # A plain mirror of `nodes` plus a lazy min-heap keyed exactly
+        # like the scan path's min(): (used_slots, str(node_id)).  Stale
+        # heap entries are discarded on pop; every slot mutation pushes a
+        # fresh entry, so the validated top IS the scan's choice.  None
+        # of this touches tracked state, so seed-scale runs (which never
+        # cross SCHED_SCAN_MAX) keep an identical access-event stream.
+        self._scan_max: int = cfg.get("yarn.sched_scan_max", SCHED_SCAN_MAX)
+        self._sched_mirror: Dict[NodeId, Tuple[SchedulerNode, str]] = {}
+        self._sched_heap: List[Tuple[int, str, int, SchedulerNode]] = []
+        self._sched_seq = 0
+        #: hosts that ever held a container of each app, for targeted
+        #: cleanup instead of the O(nodes) broadcast at scale
+        self._app_hosts: Dict[ApplicationId, Set[str]] = {}
         self._pending_release: Dict[ApplicationAttemptId, int] = {}
         self._leak_since: Dict[ApplicationAttemptId, float] = {}
         self.nm_monitor = LivenessMonitor(
@@ -125,6 +147,8 @@ class ResourceManager(Node):
     def on_register_node(self, src: str, node_id: NodeId) -> None:
         snode = SchedulerNode(node_id, self.slots_per_node)
         self.nodes.put(node_id, snode)
+        self._sched_mirror[node_id] = (snode, str(node_id))
+        self._sched_push(node_id)
         self.nm_monitor.register(node_id)
         LOG.info("NodeManager from {} registered as {}", node_id.host, node_id)
         self._assign_pending()
@@ -154,6 +178,7 @@ class ResourceManager(Node):
             return
         snode = self.nodes.get(node_id)
         self.nodes.remove(node_id)
+        self._sched_mirror.pop(node_id, None)
         self.nm_monitor.unregister(node_id)
         LOG.info("Removed node {} cluster-wide ({})", node_id, reason)
         for container_id in list(snode.container_ids):
@@ -312,6 +337,7 @@ class ResourceManager(Node):
         snode = self.get_sched_node(rmc.node_id)
         if snode is not None:
             snode.release_container(container_id)
+            self._sched_push(rmc.node_id)
         self.containers.remove(container_id)
         self._settle_release(rmc.attempt_id)
         LOG.info("Released container {}", container_id)
@@ -357,10 +383,52 @@ class ResourceManager(Node):
             else:
                 if snode.available_slots() > 0:  # AttributeError when removed
                     return snode
+        if len(self._sched_mirror) > self._scan_max:
+            return self._pick_node_indexed()
         candidates = [n for n in self.nodes.values() if n.available_slots() > 0]
         if not candidates:
             return None
         return min(candidates, key=lambda n: (n.used_slots, str(n.node_id)))
+
+    # --- scale kernel: the indexed scheduler ---------------------------
+    def _sched_push(self, node_id: NodeId) -> None:
+        """Record a node's current (used_slots, id) key in the lazy heap."""
+        entry = self._sched_mirror.get(node_id)
+        if entry is None:
+            return
+        snode, rendered = entry
+        self._sched_seq += 1
+        heapq.heappush(
+            self._sched_heap,
+            (snode.used_slots, rendered, self._sched_seq, snode),
+        )
+
+    def _pick_node_indexed(self) -> Optional[SchedulerNode]:
+        """The min-scan's answer in O(log n): pop stale keys, trust the top.
+
+        Every slot mutation pushed a fresh key, so the first non-stale
+        entry is min over the *current* keys — exactly what the scan's
+        ``min(..., key=(used_slots, str(node_id)))`` would have picked.
+        Slots are uniform per node, so if the least-used node is full,
+        every node is full.
+        """
+        heap = self._sched_heap
+        if len(heap) > 4 * len(self._sched_mirror) + 64:
+            heap = self._sched_heap = [
+                (snode.used_slots, rendered, seq, snode)
+                for seq, (snode, rendered) in enumerate(self._sched_mirror.values())
+            ]
+            heapq.heapify(heap)
+        while heap:
+            used, _, _, snode = heap[0]
+            entry = self._sched_mirror.get(snode.node_id)
+            if entry is None or entry[0] is not snode or snode.used_slots != used:
+                heapq.heappop(heap)  # removed, re-registered, or stale key
+                continue
+            if snode.available_slots() <= 0:
+                return None
+            return snode
+        return None
 
     def _new_container(
         self,
@@ -374,6 +442,8 @@ class ResourceManager(Node):
         rmc = RMContainer(container_id, snode.node_id, attempt.attempt_id, is_master=is_master)
         self.containers.put(container_id, rmc)
         snode.allocate(container_id)
+        self._sched_push(snode.node_id)
+        self._app_hosts.setdefault(attempt.attempt_id.app, set()).add(snode.node_id.host)
         attempt.container_ids.append(container_id)
         return container_id
 
@@ -453,6 +523,7 @@ class ResourceManager(Node):
                 node.release_container(container_id)
         else:
             node.release_container(container_id)  # AttributeError -> RM aborts
+        self._sched_push(rmc.node_id)
         self.containers.remove(container_id)
         self._detach_from_attempt(rmc, container_id)
 
@@ -499,6 +570,7 @@ class ResourceManager(Node):
                 node.release_container(container_id)
             else:
                 node.release_container(container_id)  # AttributeError -> RM aborts
+            self._sched_push(rmc.node_id)
             self.containers.remove(container_id)
 
     def on_job_history_flush(self, src: str, app_attempt_id: ApplicationAttemptId) -> None:
@@ -518,8 +590,15 @@ class ResourceManager(Node):
             return
         self._dispatch_entity_event(app.sm, "finalize")
         self.completed_apps.add(app_id)
-        for snode in self.nodes.values():
-            self.send(snode.node_id.host, "cleanup_app", app_id=app_id)
+        hosts = self._app_hosts.pop(app_id, None)
+        if len(self._sched_mirror) > self._scan_max and hosts is not None:
+            # scale kernel: clean up only where the app actually ran,
+            # instead of broadcasting to every NodeManager in the world
+            for host in sorted(hosts):
+                self.send(host, "cleanup_app", app_id=app_id)
+        else:
+            for snode in self.nodes.values():
+                self.send(snode.node_id.host, "cleanup_app", app_id=app_id)
         LOG.info("Application {} finalized with state {}", app_id, app.final_status)
         if app.client:
             self.send(app.client, "application_finished", app_id=app_id, status=app.final_status)
@@ -531,6 +610,7 @@ class ResourceManager(Node):
         app.sm.state = "FAILED"
         app.final_status = "FAILED"
         self.completed_apps.add(app_id)
+        self._app_hosts.pop(app_id, None)
         LOG.error("Application {} failed: {}", app_id, reason)
         if app.client:
             self.send(app.client, "application_finished", app_id=app_id, status="FAILED")
@@ -589,6 +669,14 @@ class ResourceManager(Node):
     # web UI ("curl" workload leg) and helpers
     # ------------------------------------------------------------------
     def on_web_request(self, src: str) -> None:
+        if self.apps.size() > self._scan_max:
+            # scale kernel: the web UI pages at scale — report counts
+            # instead of rendering tens of thousands of app ids per curl
+            app_count, node_count = self.apps.size(), len(self._sched_mirror)
+            LOG.info("Web request (paged): {} applications, {} nodes",
+                     app_count, node_count)
+            self.send(src, "web_response", apps=[], nodes=node_count)
+            return
         apps = [str(a.app_id) for a in self.apps.values()]
         node_count = len([n for n in self.nodes.values()])
         LOG.info("Web request: {} applications, {} nodes", len(apps), node_count)

@@ -13,24 +13,39 @@ from repro.systems.yarn.resourcemanager import ResourceManager
 
 
 class YarnSystem(SystemUnderTest):
-    """Scale-out computing framework Hadoop2/Yarn (with MapReduce)."""
+    """Scale-out computing framework Hadoop2/Yarn (with MapReduce).
+
+    ``world_scale`` is the heavy-traffic knob (DESIGN.md "Scale kernel"):
+    it multiplies the cluster width (NodeManagers) and squares into the
+    job count, so a 100x world runs hundreds of nodes and tens of
+    thousands of WordCount jobs while the per-node load stays constant.
+    ``world_scale=1`` is byte-identical to the pre-knob system.
+    """
 
     name = "yarn"
     version = "3.3.0-SNAPSHOT"
     workload_name = "WordCount+curl"
 
-    def __init__(self, num_nodes: int = 3):
+    def __init__(self, num_nodes: int = 3, world_scale: int = 1):
         self.num_nodes = num_nodes
+        self.world_scale = max(1, int(world_scale))
 
     def build(self, seed: int = 0, config: Optional[Dict[str, Any]] = None) -> Cluster:
         cluster = Cluster("yarn", seed=seed, config=config)
         ResourceManager(cluster, "rm")
-        for i in range(1, self.num_nodes + 1):
+        for i in range(1, self.num_nodes * self.world_scale + 1):
             NodeManager(cluster, f"node{i}")
         return cluster
 
     def create_workload(self, scale: int = 1) -> Workload:
-        return WordCountWorkload(jobs=1, num_maps=4 * scale, num_reduces=1)
+        ws = self.world_scale
+        return WordCountWorkload(
+            jobs=ws * ws, num_maps=4 * scale, num_reduces=1,
+            # Pace submissions so the offered load tracks the cluster's
+            # drain rate: the seed interval up to 20x, then tightening so
+            # a ws-x world submits its ws^2 jobs over ~2*ws sim-seconds.
+            submit_interval=min(0.1, 2.0 / ws),
+        )
 
     def source_modules(self) -> List[ModuleType]:
         from repro.systems.yarn import (
@@ -46,5 +61,6 @@ class YarnSystem(SystemUnderTest):
     def base_runtime(self) -> float:
         # One clean WordCount run (4 maps, 1 reduce, 3 NMs) finishes in
         # about 5 simulated seconds (2s AM spawn + task waves); keep
-        # headroom for scheduler jitter.
-        return 8.0
+        # headroom for scheduler jitter.  A scaled world adds its paced
+        # submission window (~2*ws) plus drain time on top.
+        return 8.0 + 2.4 * (self.world_scale - 1)
